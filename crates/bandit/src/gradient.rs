@@ -1,0 +1,146 @@
+//! Gradient bandit: softmax action preferences updated by stochastic
+//! gradient ascent against a running reward baseline. The paper cites this
+//! family (§III-C) without adopting it; we include it as an ablation arm.
+
+use crate::policy::Policy;
+use rand::{Rng, RngCore};
+
+/// Gradient bandit with learning rate `alpha`.
+#[derive(Debug, Clone)]
+pub struct GradientBandit {
+    alpha: f64,
+    h: Vec<f64>,
+    baseline: f64,
+    total: u64,
+    n: Vec<u64>,
+    /// Scratch estimates exposed via `estimates()` (the preferences).
+    probs: Vec<f64>,
+}
+
+impl GradientBandit {
+    /// Create a gradient bandit; `alpha` is the preference learning rate.
+    pub fn new(n_arms: usize, alpha: f64) -> Self {
+        assert!(n_arms > 0, "need at least one arm");
+        assert!(alpha > 0.0, "alpha must be positive");
+        Self {
+            alpha,
+            h: vec![0.0; n_arms],
+            baseline: 0.0,
+            total: 0,
+            n: vec![0; n_arms],
+            probs: vec![1.0 / n_arms as f64; n_arms],
+        }
+    }
+
+    fn softmax(&mut self, mask: Option<&[bool]>) {
+        let enabled = |i: usize| mask.is_none_or(|m| m[i]);
+        let max_h = (0..self.h.len())
+            .filter(|&i| enabled(i))
+            .map(|i| self.h[i])
+            .fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for i in 0..self.h.len() {
+            self.probs[i] = if enabled(i) {
+                (self.h[i] - max_h).exp()
+            } else {
+                0.0
+            };
+            sum += self.probs[i];
+        }
+        assert!(sum > 0.0, "mask must enable at least one arm");
+        for p in self.probs.iter_mut() {
+            *p /= sum;
+        }
+    }
+}
+
+impl Policy for GradientBandit {
+    fn n_arms(&self) -> usize {
+        self.h.len()
+    }
+
+    fn select(&mut self, mask: Option<&[bool]>, rng: &mut dyn RngCore) -> usize {
+        self.softmax(mask);
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (i, &p) in self.probs.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                return i;
+            }
+        }
+        // Floating-point tail: last enabled arm.
+        (0..self.h.len())
+            .rev()
+            .find(|&i| mask.is_none_or(|m| m[i]))
+            .expect("mask must enable at least one arm")
+    }
+
+    fn update(&mut self, arm: usize, reward: f64) {
+        self.total += 1;
+        self.n[arm] += 1;
+        self.baseline += (reward - self.baseline) / self.total as f64;
+        self.softmax(None);
+        let advantage = reward - self.baseline;
+        for i in 0..self.h.len() {
+            if i == arm {
+                self.h[i] += self.alpha * advantage * (1.0 - self.probs[i]);
+            } else {
+                self.h[i] -= self.alpha * advantage * self.probs[i];
+            }
+        }
+    }
+
+    fn estimates(&self) -> &[f64] {
+        &self.h
+    }
+
+    fn total_pulls(&self) -> u64 {
+        self.total
+    }
+
+    fn pulls(&self) -> &[u64] {
+        &self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn converges_to_best_arm() {
+        let mut p = GradientBandit::new(3, 0.2);
+        let mut rng = SmallRng::seed_from_u64(13);
+        let means = [0.2, 0.9, 0.4];
+        let mut pulls = [0u64; 3];
+        for _ in 0..3000 {
+            let arm = p.select(None, &mut rng);
+            pulls[arm] += 1;
+            p.update(arm, means[arm]);
+        }
+        assert!(pulls[1] > 2000, "pulls {pulls:?}");
+        assert!(p.estimates()[1] > p.estimates()[0]);
+    }
+
+    #[test]
+    fn respects_mask() {
+        let mut p = GradientBandit::new(3, 0.1);
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let arm = p.select(Some(&[false, false, true]), &mut rng);
+            assert_eq!(arm, 2);
+        }
+    }
+
+    #[test]
+    fn baseline_tracks_mean_reward() {
+        let mut p = GradientBandit::new(2, 0.1);
+        for _ in 0..100 {
+            p.update(0, 0.6);
+        }
+        assert!((p.baseline - 0.6).abs() < 1e-9);
+    }
+}

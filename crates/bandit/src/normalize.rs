@@ -1,0 +1,120 @@
+//! Online min–max normalization for reward signals.
+//!
+//! MAB rewards in AdaEdge mix quantities with wildly different scales —
+//! compressed bytes, bytes/second throughput, accuracies already in
+//! [0, 1]. Complex targets (§IV-D3) require each component normalized
+//! before weighting; this tracker learns the range as observations arrive.
+
+use serde::{Deserialize, Serialize};
+
+/// Running min–max tracker mapping observations into [0, 1].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Normalizer {
+    min: f64,
+    max: f64,
+    count: u64,
+}
+
+impl Default for Normalizer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Normalizer {
+    /// Create an empty tracker.
+    pub fn new() -> Self {
+        Self {
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            count: 0,
+        }
+    }
+
+    /// Record an observation.
+    pub fn observe(&mut self, v: f64) {
+        if v.is_finite() {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+            self.count += 1;
+        }
+    }
+
+    /// Normalize `v` into [0, 1] against the observed range. With fewer
+    /// than two distinct observations, returns 0.5 (uninformative).
+    pub fn normalize(&self, v: f64) -> f64 {
+        if self.count == 0 || self.max <= self.min {
+            return 0.5;
+        }
+        ((v - self.min) / (self.max - self.min)).clamp(0.0, 1.0)
+    }
+
+    /// Observe then normalize, in one step.
+    pub fn observe_and_normalize(&mut self, v: f64) -> f64 {
+        self.observe(v);
+        self.normalize(v)
+    }
+
+    /// Number of finite observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The observed range, if any.
+    pub fn range(&self) -> Option<(f64, f64)> {
+        (self.count > 0).then_some((self.min, self.max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_range_to_unit_interval() {
+        let mut n = Normalizer::new();
+        for v in [10.0, 20.0, 30.0] {
+            n.observe(v);
+        }
+        assert_eq!(n.normalize(10.0), 0.0);
+        assert_eq!(n.normalize(30.0), 1.0);
+        assert_eq!(n.normalize(20.0), 0.5);
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        let mut n = Normalizer::new();
+        n.observe(0.0);
+        n.observe(1.0);
+        assert_eq!(n.normalize(5.0), 1.0);
+        assert_eq!(n.normalize(-5.0), 0.0);
+    }
+
+    #[test]
+    fn degenerate_cases_return_half() {
+        let n = Normalizer::new();
+        assert_eq!(n.normalize(7.0), 0.5);
+        let mut n = Normalizer::new();
+        n.observe(3.0);
+        assert_eq!(n.normalize(3.0), 0.5); // single point: no range yet
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let mut n = Normalizer::new();
+        n.observe(f64::NAN);
+        n.observe(f64::INFINITY);
+        assert_eq!(n.count(), 0);
+        n.observe(1.0);
+        assert_eq!(n.count(), 1);
+    }
+
+    #[test]
+    fn range_reporting() {
+        let mut n = Normalizer::new();
+        assert!(n.range().is_none());
+        n.observe(-2.0);
+        n.observe(4.0);
+        assert_eq!(n.range(), Some((-2.0, 4.0)));
+    }
+}

@@ -1,0 +1,130 @@
+//! The bandit policy trait and shared arm statistics.
+
+use rand::RngCore;
+
+/// How reward estimates are updated after each pull.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StepSize {
+    /// Incremental sample average: `Q += (R − Q) / N`. Converges on
+    /// stationary problems.
+    SampleAverage,
+    /// Constant step `Q += α (R − Q)`: exponential recency weighting, the
+    /// paper's choice for non-stationary data shift (step = 0.5, §V-C).
+    Constant(f64),
+}
+
+/// A multi-armed bandit policy over `k` arms.
+///
+/// Arms are dense indices `0..k`; the selection framework maps codec ids to
+/// arm indices. Policies are `Send` so a selector can live inside the
+/// multithreaded engine. State is O(k) per instance (§III-C).
+pub trait Policy: Send {
+    /// Number of arms.
+    fn n_arms(&self) -> usize;
+
+    /// Pick an arm among those enabled in `mask` (all arms when `None`).
+    ///
+    /// At least one arm must be enabled; implementations may panic
+    /// otherwise. The mask models infeasible arms — e.g. lossless codecs
+    /// that cannot reach the target ratio, or BUFF-lossy below its floor.
+    fn select(&mut self, mask: Option<&[bool]>, rng: &mut dyn RngCore) -> usize;
+
+    /// Feed back the observed reward for `arm`.
+    fn update(&mut self, arm: usize, reward: f64);
+
+    /// Current value estimates per arm (for introspection and tests).
+    fn estimates(&self) -> &[f64];
+
+    /// Total number of updates seen.
+    fn total_pulls(&self) -> u64;
+
+    /// Per-arm pull counts.
+    fn pulls(&self) -> &[u64];
+}
+
+impl Policy for Box<dyn Policy> {
+    fn n_arms(&self) -> usize {
+        (**self).n_arms()
+    }
+
+    fn select(&mut self, mask: Option<&[bool]>, rng: &mut dyn RngCore) -> usize {
+        (**self).select(mask, rng)
+    }
+
+    fn update(&mut self, arm: usize, reward: f64) {
+        (**self).update(arm, reward)
+    }
+
+    fn estimates(&self) -> &[f64] {
+        (**self).estimates()
+    }
+
+    fn total_pulls(&self) -> u64 {
+        (**self).total_pulls()
+    }
+
+    fn pulls(&self) -> &[u64] {
+        (**self).pulls()
+    }
+}
+
+/// Argmax over enabled arms, ties broken by lowest index (deterministic).
+pub(crate) fn masked_argmax(values: &[f64], mask: Option<&[bool]>) -> usize {
+    let enabled = |i: usize| mask.is_none_or(|m| m[i]);
+    let mut best: Option<usize> = None;
+    for i in 0..values.len() {
+        if !enabled(i) {
+            continue;
+        }
+        match best {
+            None => best = Some(i),
+            Some(b) if values[i] > values[b] => best = Some(i),
+            _ => {}
+        }
+    }
+    best.expect("mask must enable at least one arm")
+}
+
+/// Uniformly pick one enabled arm.
+pub(crate) fn masked_uniform(n: usize, mask: Option<&[bool]>, rng: &mut dyn RngCore) -> usize {
+    use rand::Rng;
+    let enabled: Vec<usize> = (0..n).filter(|&i| mask.is_none_or(|m| m[i])).collect();
+    assert!(!enabled.is_empty(), "mask must enable at least one arm");
+    enabled[rng.gen_range(0..enabled.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn argmax_respects_mask() {
+        let values = [1.0, 5.0, 3.0];
+        assert_eq!(masked_argmax(&values, None), 1);
+        assert_eq!(masked_argmax(&values, Some(&[true, false, true])), 2);
+        assert_eq!(masked_argmax(&values, Some(&[true, false, false])), 0);
+    }
+
+    #[test]
+    fn argmax_ties_break_low() {
+        let values = [2.0, 2.0, 2.0];
+        assert_eq!(masked_argmax(&values, None), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one arm")]
+    fn argmax_empty_mask_panics() {
+        masked_argmax(&[1.0, 2.0], Some(&[false, false]));
+    }
+
+    #[test]
+    fn uniform_only_picks_enabled() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let pick = masked_uniform(4, Some(&[false, true, false, true]), &mut rng);
+            assert!(pick == 1 || pick == 3);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the bandit policies.
+
+use adaedge_bandit::{BandedBandits, EpsilonGreedy, GradientBandit, Policy, StepSize, Ucb};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn policies(n_arms: usize) -> Vec<Box<dyn Policy>> {
+    vec![
+        Box::new(EpsilonGreedy::new(n_arms, 0.2)),
+        Box::new(EpsilonGreedy::optimistic(n_arms, 0.0, 5.0)),
+        Box::new(EpsilonGreedy::with_options(
+            n_arms,
+            0.1,
+            0.0,
+            StepSize::Constant(0.5),
+        )),
+        Box::new(Ucb::new(n_arms, 1.4)),
+        Box::new(GradientBandit::new(n_arms, 0.2)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn selection_always_respects_mask(
+        n_arms in 2usize..8,
+        mask_bits in prop::collection::vec(any::<bool>(), 2..8),
+        seed in any::<u64>(),
+        rewards in prop::collection::vec(0.0f64..1.0, 1..50),
+    ) {
+        let mut mask: Vec<bool> = (0..n_arms)
+            .map(|i| mask_bits.get(i).copied().unwrap_or(false))
+            .collect();
+        if mask.iter().all(|&m| !m) {
+            mask[0] = true; // at least one arm must be enabled
+        }
+        for mut policy in policies(n_arms) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for &r in &rewards {
+                let arm = policy.select(Some(&mask), &mut rng);
+                prop_assert!(mask[arm], "selected masked arm {arm}");
+                policy.update(arm, r);
+            }
+        }
+    }
+
+    #[test]
+    fn pull_counts_sum_to_total(
+        seed in any::<u64>(),
+        steps in 1usize..200,
+    ) {
+        for mut policy in policies(4) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for t in 0..steps {
+                let arm = policy.select(None, &mut rng);
+                policy.update(arm, (t % 3) as f64 / 3.0);
+            }
+            prop_assert_eq!(policy.pulls().iter().sum::<u64>(), steps as u64);
+            prop_assert_eq!(policy.total_pulls(), steps as u64);
+        }
+    }
+
+    #[test]
+    fn sample_average_estimate_is_the_mean(
+        rewards in prop::collection::vec(-5.0f64..5.0, 1..100),
+    ) {
+        let mut p = EpsilonGreedy::new(1, 0.0);
+        for &r in &rewards {
+            p.update(0, r);
+        }
+        let mean: f64 = rewards.iter().sum::<f64>() / rewards.len() as f64;
+        prop_assert!((p.estimates()[0] - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimates_stay_within_reward_range(
+        rewards in prop::collection::vec(0.2f64..0.8, 1..100),
+        seed in any::<u64>(),
+    ) {
+        // Zero-init sample-average estimates of pulled arms stay inside the
+        // convex hull of {0 (init)} ∪ rewards.
+        let mut p = EpsilonGreedy::new(3, 0.3);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for &r in &rewards {
+            let arm = p.select(None, &mut rng);
+            p.update(arm, r);
+        }
+        for (i, &e) in p.estimates().iter().enumerate() {
+            if p.pulls()[i] > 0 {
+                prop_assert!((0.2..=0.8).contains(&e), "arm {i}: {e}");
+            } else {
+                prop_assert_eq!(e, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn band_mapping_is_total_and_monotone(
+        ratios in prop::collection::vec(0.0001f64..1.5, 1..50),
+    ) {
+        let bands = BandedBandits::new(
+            adaedge_bandit::default_band_edges(),
+            || EpsilonGreedy::new(2, 0.1),
+        );
+        let mut sorted = ratios.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let mut prev_band = 0usize;
+        for r in sorted {
+            let band = bands.band_of(r);
+            prop_assert!(band < bands.n_bands());
+            prop_assert!(band >= prev_band, "band index must not decrease as ratio falls");
+            prev_band = band;
+        }
+    }
+}

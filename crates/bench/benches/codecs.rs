@@ -1,0 +1,130 @@
+//! Criterion microbenchmarks: per-codec compression / decompression
+//! throughput (the measurements behind Figures 2–3), MAB selection
+//! overhead, and the virtual-decompression recoding ablation (§IV-E).
+
+use adaedge_bandit::{EpsilonGreedy, Policy};
+use adaedge_codecs::{CodecId, CodecRegistry};
+use adaedge_datasets::{CbfConfig, CbfStream, SegmentSource};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+const SEGMENT: usize = 1024;
+
+fn segment() -> Vec<f64> {
+    let mut s = CbfStream::new(CbfConfig::default(), SEGMENT);
+    s.next_segment()
+}
+
+fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut group = c.benchmark_group("codecs");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    group
+}
+
+fn bench_lossless_compress(c: &mut Criterion) {
+    let reg = CodecRegistry::new(4);
+    let data = segment();
+    let mut group = quick(c);
+    group.throughput(Throughput::Bytes((SEGMENT * 8) as u64));
+    for id in CodecRegistry::extended_lossless_candidates() {
+        group.bench_with_input(BenchmarkId::new("compress", id.name()), &data, |b, d| {
+            b.iter(|| black_box(reg.get(id).compress(black_box(d)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lossless_decompress(c: &mut Criterion) {
+    let reg = CodecRegistry::new(4);
+    let data = segment();
+    let mut group = quick(c);
+    group.throughput(Throughput::Bytes((SEGMENT * 8) as u64));
+    for id in CodecRegistry::extended_lossless_candidates() {
+        let block = reg.get(id).compress(&data).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("decompress", id.name()),
+            &block,
+            |b, blk| b.iter(|| black_box(reg.decompress(black_box(blk)).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_lossy_compress(c: &mut Criterion) {
+    let reg = CodecRegistry::new(4);
+    let data = segment();
+    let mut group = quick(c);
+    group.throughput(Throughput::Bytes((SEGMENT * 8) as u64));
+    for id in CodecRegistry::lossy_candidates() {
+        let lossy = reg.get_lossy(id).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("compress_r0.2", id.name()),
+            &data,
+            |b, d| b.iter(|| black_box(lossy.compress_to_ratio(black_box(d), 0.2).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_recode_virtual_vs_full(c: &mut Criterion) {
+    // The §IV-E ablation: recoding PAA→PAA via virtual decompression vs a
+    // full decompress + re-compress round trip.
+    let reg = CodecRegistry::new(4);
+    let data = segment();
+    let paa = reg.get_lossy(CodecId::Paa).unwrap();
+    let block = paa.compress_to_ratio(&data, 0.4).unwrap();
+    let mut group = quick(c);
+    group.bench_function("recode/paa_virtual", |b| {
+        b.iter(|| black_box(paa.recode(black_box(&block), 0.1).unwrap()))
+    });
+    group.bench_function("recode/paa_full_roundtrip", |b| {
+        b.iter(|| {
+            let decoded = reg.decompress(black_box(&block)).unwrap();
+            black_box(paa.compress_to_ratio(&decoded, 0.1).unwrap())
+        })
+    });
+    let buff = reg.get_lossy(CodecId::BuffLossy).unwrap();
+    let bblock = buff.compress_to_ratio(&data, 0.4).unwrap();
+    group.bench_function("recode/buff_virtual", |b| {
+        b.iter(|| black_box(buff.recode(black_box(&bblock), 0.2).unwrap()))
+    });
+    group.bench_function("recode/buff_full_roundtrip", |b| {
+        b.iter(|| {
+            let decoded = reg.decompress(black_box(&bblock)).unwrap();
+            black_box(buff.compress_to_ratio(&decoded, 0.2).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_mab_overhead(c: &mut Criterion) {
+    // The selection step must be negligible next to compression (§III-C:
+    // O(K) time and space).
+    let mut mab = EpsilonGreedy::optimistic(10, 0.1, 1.0);
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut group = quick(c);
+    group.bench_function("mab/select_update", |b| {
+        b.iter(|| {
+            let arm = mab.select(None, &mut rng);
+            mab.update(arm, 0.5);
+            black_box(arm)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lossless_compress,
+    bench_lossless_decompress,
+    bench_lossy_compress,
+    bench_recode_virtual_vs_full,
+    bench_mab_overhead
+);
+criterion_main!(benches);

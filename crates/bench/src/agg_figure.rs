@@ -1,0 +1,125 @@
+//! Shared harness for the aggregation-query figures (Figures 8 and 9).
+
+use crate::harness::mean;
+use crate::{print_table, ratio_sweep, MethodSeries, SEGMENT_LEN};
+use adaedge_codecs::{CodecId, CodecRegistry};
+use adaedge_core::baselines::TvStoreBaseline;
+use adaedge_core::{
+    AggKind, Constraints, OnlineAdaEdge, OnlineConfig, OptimizationTarget, RewardEvaluator,
+};
+use adaedge_datasets::{CbfConfig, CbfStream, SegmentSource};
+
+const SEGMENTS: usize = 100;
+const WARMUP: usize = 40;
+
+fn segments_for(seed: u64) -> Vec<Vec<f64>> {
+    let mut stream = CbfStream::new(
+        CbfConfig {
+            seed,
+            ..Default::default()
+        },
+        SEGMENT_LEN,
+    );
+    (0..SEGMENTS).map(|_| stream.next_segment()).collect()
+}
+
+/// Run one figure (SUM or MAX) and print its table.
+pub fn run_agg_figure(kind: AggKind, title: &str) {
+    let sweep = ratio_sweep();
+    let reg = CodecRegistry::new(4);
+    let segments = segments_for(3);
+    let eval = RewardEvaluator::new(OptimizationTarget::agg(kind), None, 0);
+    let loss = |orig: &[f64], rec: &[f64]| 1.0 - eval.agg_accuracy(kind, orig, rec);
+
+    let mut series = Vec::new();
+
+    // MAB (full online pipeline).
+    let mut mab = MethodSeries::new("mab");
+    for &ratio in &sweep {
+        let constraints = Constraints::online(100_000.0, ratio * 64.0 * 100_000.0, SEGMENT_LEN);
+        let config = OnlineConfig::new(constraints, OptimizationTarget::agg(kind));
+        let mut edge = OnlineAdaEdge::new(config).expect("valid config");
+        let mut losses = Vec::new();
+        let mut failed = false;
+        for seg in &segments {
+            match edge.process_segment(seg) {
+                Ok(out) => {
+                    let rec = edge.registry().decompress(&out.selection.block).unwrap();
+                    losses.push(loss(seg, &rec));
+                }
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        mab.push((!failed).then(|| mean(&losses[WARMUP.min(losses.len())..])));
+    }
+    series.push(mab);
+
+    // Fixed lossy arms.
+    for codec in CodecRegistry::lossy_candidates() {
+        let lossy = reg.get_lossy(codec).unwrap();
+        let mut s = MethodSeries::new(codec.name());
+        for &ratio in &sweep {
+            let mut losses = Vec::new();
+            let mut failed = false;
+            for seg in &segments {
+                match lossy.compress_to_ratio(seg, ratio) {
+                    Ok(block) => {
+                        let rec = reg.decompress(&block).unwrap();
+                        losses.push(loss(seg, &rec));
+                    }
+                    Err(_) => {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+            s.push((!failed).then(|| mean(&losses)));
+        }
+        series.push(s);
+    }
+
+    // Lossless arms: zero loss while feasible.
+    for codec in [CodecId::Sprintz, CodecId::Buff] {
+        let worst = segments
+            .iter()
+            .map(|seg| {
+                reg.get(codec)
+                    .compress(seg)
+                    .map(|b| b.ratio())
+                    .unwrap_or(f64::INFINITY)
+            })
+            .fold(f64::MIN, f64::max);
+        let mut s = MethodSeries::new(codec.name());
+        for &ratio in &sweep {
+            s.push((worst <= ratio).then_some(0.0));
+        }
+        series.push(s);
+    }
+
+    // TVStore (PLA).
+    let tv = TvStoreBaseline::new();
+    let mut s = MethodSeries::new("tvstore-pla");
+    for &ratio in &sweep {
+        let mut losses = Vec::new();
+        let mut failed = false;
+        for seg in &segments {
+            match tv.compress(&reg, seg, ratio) {
+                Ok(sel) => {
+                    let rec = reg.decompress(&sel.block).unwrap();
+                    losses.push(loss(seg, &rec));
+                }
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        s.push((!failed).then(|| mean(&losses)));
+    }
+    series.push(s);
+
+    print_table(title, "ratio", &sweep, &series, 4);
+}

@@ -1,0 +1,73 @@
+//! Figure 2: can each codec keep up with a 4 M points/s signal?
+//!
+//! Bars = compression throughput (points/s at full speed) per codec; the
+//! line = the signal generation rate. Gzip-class codecs fall below the
+//! line, the lightweight encodings and lossy representations clear it.
+//!
+//! Run: `cargo run --release -p adaedge-bench --bin fig02_ingest_rate`
+
+use adaedge_bench::SEGMENT_LEN;
+use adaedge_codecs::{CodecId, CodecRegistry};
+use adaedge_datasets::{CbfConfig, CbfStream, SegmentSource};
+use std::time::Instant;
+
+/// The paper's example signal rate (a typical oil-well platform).
+const SIGNAL_RATE: f64 = 4_000_000.0;
+/// Measurement window per codec.
+const MEASURE_SECS: f64 = 0.25;
+
+fn main() {
+    let reg = CodecRegistry::new(4);
+    let mut stream = CbfStream::new(CbfConfig::default(), SEGMENT_LEN);
+    // A pool of segments so codecs see varied data.
+    let segments: Vec<Vec<f64>> = (0..32).map(|_| stream.next_segment()).collect();
+
+    println!("Figure 2: compression ingest rate vs a {SIGNAL_RATE:.0} points/s signal");
+    println!("(* marks lossy compression, tuned to ratio 0.25)\n");
+    println!("{:>14} {:>16} {:>10}", "codec", "points/s", "keeps up?");
+
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    let codecs: Vec<CodecId> = CodecRegistry::extended_lossless_candidates()
+        .into_iter()
+        .chain(CodecRegistry::lossy_candidates())
+        .collect();
+    for id in codecs {
+        let mut points = 0u64;
+        let start = Instant::now();
+        let mut i = 0usize;
+        while start.elapsed().as_secs_f64() < MEASURE_SECS {
+            let data = &segments[i % segments.len()];
+            i += 1;
+            let ok = if let Some(lossy) = reg.get_lossy(id) {
+                lossy.compress_to_ratio(data, 0.25).is_ok()
+            } else {
+                reg.get(id).compress(data).is_ok()
+            };
+            if ok {
+                points += data.len() as u64;
+            }
+        }
+        let rate = points as f64 / start.elapsed().as_secs_f64();
+        let label = if id.is_lossless() {
+            id.name().to_string()
+        } else {
+            format!("{}*", id.name())
+        };
+        rows.push((label, rate));
+    }
+
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (label, rate) in &rows {
+        println!(
+            "{:>14} {:>16.0} {:>10}",
+            label,
+            rate,
+            if *rate >= SIGNAL_RATE { "yes" } else { "NO" }
+        );
+    }
+    println!("\nsignal rate line: {SIGNAL_RATE:.0} points/s");
+    println!(
+        "expected shape (paper): gzip-class arms fall below the line; \
+         lightweight and lossy arms clear it."
+    );
+}

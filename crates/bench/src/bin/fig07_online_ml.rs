@@ -1,0 +1,216 @@
+//! Figure 7 (a–d): online-mode ML accuracy *loss* vs target compression
+//! ratio for decision tree, random forest, KNN and KMeans.
+//!
+//! Series: AdaEdge's MAB selection, every fixed lossy arm, the lossless
+//! arms (zero loss inside their feasible range, `fail` outside it),
+//! CodecDB (static lossless selection — fails beyond lossless reach) and
+//! TVStore (PLA everywhere).
+//!
+//! Run: `cargo run --release -p adaedge-bench --bin fig07_online_ml`
+
+use adaedge_bench::harness::mean;
+use adaedge_bench::{
+    frozen_model, print_table, ratio_sweep, MethodSeries, ModelKind, INSTANCE_LEN, SEGMENT_LEN,
+};
+use adaedge_codecs::{CodecId, CodecRegistry};
+use adaedge_core::baselines::{CodecDbBaseline, TvStoreBaseline};
+use adaedge_core::{Constraints, OnlineAdaEdge, OnlineConfig, OptimizationTarget, RewardEvaluator};
+use adaedge_datasets::{CbfConfig, CbfStream, SegmentSource};
+use adaedge_ml::Model;
+
+const SEGMENTS: usize = 100;
+/// Segments excluded from the reported mean (MAB warm-up; applied to every
+/// method equally).
+const WARMUP: usize = 40;
+
+fn segments_for(seed: u64) -> Vec<Vec<f64>> {
+    let mut stream = CbfStream::new(
+        CbfConfig {
+            seed,
+            ..Default::default()
+        },
+        SEGMENT_LEN,
+    );
+    (0..SEGMENTS).map(|_| stream.next_segment()).collect()
+}
+
+fn accuracy_loss(eval: &RewardEvaluator, orig: &[f64], rec: &[f64]) -> f64 {
+    1.0 - eval.ml_accuracy(orig, rec)
+}
+
+fn mab_series(model: &Model, segments: &[Vec<f64>], sweep: &[f64]) -> MethodSeries {
+    let mut series = MethodSeries::new("mab");
+    for &ratio in sweep {
+        let constraints = Constraints::online(100_000.0, ratio * 64.0 * 100_000.0, SEGMENT_LEN);
+        let mut config = OnlineConfig::new(constraints, OptimizationTarget::ml());
+        config.model = Some(model.clone());
+        config.instance_len = INSTANCE_LEN;
+        let mut edge = match OnlineAdaEdge::new(config) {
+            Ok(e) => e,
+            Err(_) => {
+                series.push(None);
+                continue;
+            }
+        };
+        let eval =
+            RewardEvaluator::new(OptimizationTarget::ml(), Some(model.clone()), INSTANCE_LEN);
+        let mut losses = Vec::new();
+        let mut failed = false;
+        for seg in segments {
+            match edge.process_segment(seg) {
+                Ok(out) => {
+                    let rec = edge.registry().decompress(&out.selection.block).unwrap();
+                    losses.push(accuracy_loss(&eval, seg, &rec));
+                }
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        series.push((!failed).then(|| mean(&losses[WARMUP.min(losses.len())..])));
+    }
+    series
+}
+
+fn lossy_series(
+    reg: &CodecRegistry,
+    codec: CodecId,
+    model: &Model,
+    segments: &[Vec<f64>],
+    sweep: &[f64],
+) -> MethodSeries {
+    let mut series = MethodSeries::new(codec.name());
+    let eval = RewardEvaluator::new(OptimizationTarget::ml(), Some(model.clone()), INSTANCE_LEN);
+    let lossy = reg.get_lossy(codec).unwrap();
+    for &ratio in sweep {
+        let mut losses = Vec::new();
+        let mut failed = false;
+        for seg in segments {
+            match lossy.compress_to_ratio(seg, ratio) {
+                Ok(block) => {
+                    let rec = reg.decompress(&block).unwrap();
+                    losses.push(accuracy_loss(&eval, seg, &rec));
+                }
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        series.push((!failed).then(|| mean(&losses[WARMUP.min(losses.len())..])));
+    }
+    series
+}
+
+fn lossless_series(
+    reg: &CodecRegistry,
+    codec: CodecId,
+    segments: &[Vec<f64>],
+    sweep: &[f64],
+) -> MethodSeries {
+    let mut series = MethodSeries::new(codec.name());
+    // A lossless arm is feasible at a target ratio iff its achieved ratio
+    // fits; within that range its loss is exactly zero.
+    let achieved: Vec<f64> = segments
+        .iter()
+        .map(|s| {
+            reg.get(codec)
+                .compress(s)
+                .map(|b| b.ratio())
+                .unwrap_or(f64::INFINITY)
+        })
+        .collect();
+    let worst = achieved.iter().cloned().fold(f64::MIN, f64::max);
+    for &ratio in sweep {
+        series.push((worst <= ratio).then_some(0.0));
+    }
+    series
+}
+
+fn codecdb_series(reg: &CodecRegistry, segments: &[Vec<f64>], sweep: &[f64]) -> MethodSeries {
+    let mut series = MethodSeries::new("codecdb");
+    for &ratio in sweep {
+        let mut db = CodecDbBaseline::new(CodecRegistry::lossless_candidates(), 1);
+        let mut ok = true;
+        for (i, seg) in segments.iter().enumerate() {
+            // The sampling phase observes candidates without shipping;
+            // after committing, every segment must fit the link.
+            if db.committed().is_none() && i < segments.len() / 2 {
+                let _ = db.compress(reg, seg);
+                continue;
+            }
+            if db.compress_for_ratio(reg, seg, ratio).is_err() {
+                ok = false;
+                break;
+            }
+        }
+        series.push(ok.then_some(0.0));
+    }
+    series
+}
+
+fn tvstore_series(
+    reg: &CodecRegistry,
+    model: &Model,
+    segments: &[Vec<f64>],
+    sweep: &[f64],
+) -> MethodSeries {
+    let mut series = MethodSeries::new("tvstore-pla");
+    let eval = RewardEvaluator::new(OptimizationTarget::ml(), Some(model.clone()), INSTANCE_LEN);
+    let tv = TvStoreBaseline::new();
+    for &ratio in sweep {
+        let mut losses = Vec::new();
+        let mut failed = false;
+        for seg in segments {
+            match tv.compress(reg, seg, ratio) {
+                Ok(sel) => {
+                    let rec = reg.decompress(&sel.block).unwrap();
+                    losses.push(accuracy_loss(&eval, seg, &rec));
+                }
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        series.push((!failed).then(|| mean(&losses[WARMUP.min(losses.len())..])));
+    }
+    series
+}
+
+fn main() {
+    let sweep = ratio_sweep();
+    let reg = CodecRegistry::new(4);
+    let segments = segments_for(0);
+
+    println!("Figure 7: online-mode ML accuracy loss vs target compression ratio");
+    println!("(0 = no loss; fail = method cannot operate at that ratio)\n");
+
+    for kind in ModelKind::ALL {
+        let model = frozen_model(kind, 17);
+        let mut series = vec![mab_series(&model, &segments, &sweep)];
+        for codec in CodecRegistry::lossy_candidates() {
+            series.push(lossy_series(&reg, codec, &model, &segments, &sweep));
+        }
+        for codec in [CodecId::Sprintz, CodecId::Buff, CodecId::Gzip] {
+            series.push(lossless_series(&reg, codec, &segments, &sweep));
+        }
+        series.push(codecdb_series(&reg, &segments, &sweep));
+        series.push(tvstore_series(&reg, &model, &segments, &sweep));
+        print_table(
+            &format!("Fig 7 ({}) accuracy loss", kind.name()),
+            "ratio",
+            &sweep,
+            &series,
+            4,
+        );
+    }
+    println!(
+        "\nexpected shape (paper): lossless arms are zero-loss but fail below \
+         their natural ratio; BUFF-lossy is the best lossy arm above ≈0.125 \
+         and fails below it; PAA/FFT take over at aggressive ratios; the MAB \
+         tracks the per-ratio winner (small exploration bumps); CodecDB fails \
+         wherever lossless cannot reach."
+    );
+}

@@ -1,0 +1,21 @@
+//! Figure 8: SUM-query accuracy loss over the target compression ratio
+//! (log-scale in the paper).
+//!
+//! PAA and FFT preserve sums almost exactly (window means / the f64 DC
+//! coefficient); the MAB should match them. Lossless arms have exactly
+//! zero loss inside their feasible range (the paper draws them <1e-18).
+//!
+//! Run: `cargo run --release -p adaedge-bench --bin fig08_sum_query`
+
+use adaedge_bench::agg_figure::run_agg_figure;
+use adaedge_core::AggKind;
+
+fn main() {
+    println!("Figure 8: SUM-query accuracy loss vs target compression ratio");
+    println!("(paper plots log-scale; lossless arms sit below 1e-18 = printed 0)");
+    run_agg_figure(AggKind::Sum, "Fig 8 SUM accuracy loss");
+    println!(
+        "\nexpected shape (paper): PAA/FFT near machine precision; the MAB \
+         matches them; BUFF-lossy small-but-nonzero; RRD/PLA clearly worse."
+    );
+}

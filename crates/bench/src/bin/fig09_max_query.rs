@@ -1,0 +1,20 @@
+//! Figure 9: MAX-query accuracy loss over the target compression ratio
+//! (log-scale in the paper).
+//!
+//! PLA\'s knots sit at extremum deviations, so maxima survive; the MAB
+//! should consistently choose PLA, as the paper reports.
+//!
+//! Run: `cargo run --release -p adaedge-bench --bin fig09_max_query`
+
+use adaedge_bench::agg_figure::run_agg_figure;
+use adaedge_core::AggKind;
+
+fn main() {
+    println!("Figure 9: MAX-query accuracy loss vs target compression ratio");
+    println!("(paper plots log-scale; lossless arms sit below 1e-18 = printed 0)");
+    run_agg_figure(AggKind::Max, "Fig 9 MAX accuracy loss");
+    println!(
+        "\nexpected shape (paper): PLA dominates (the MAB picks it); \
+         PAA/FFT smooth the peaks away; RRD worst."
+    );
+}

@@ -1,0 +1,153 @@
+//! Figure 11: complex target — w1·C_thr + w2·Acc_RF with w1 = 0.524,
+//! w2 = 0.476 — over the target compression ratio (higher is better).
+//!
+//! Compression throughput is min–max normalized across the methods in the
+//! figure, as in §IV-D. The paper reports a PAA ↔ BUFF-lossy crossover
+//! around ratio 0.25, with the MAB handling it.
+//!
+//! Run: `cargo run --release -p adaedge-bench --bin fig11_complex_speed_ml`
+
+use adaedge_bench::harness::mean;
+use adaedge_bench::{
+    frozen_model, print_table, ratio_sweep, MethodSeries, ModelKind, INSTANCE_LEN, SEGMENT_LEN,
+};
+use adaedge_codecs::{CodecId, CodecRegistry};
+use adaedge_core::{
+    Constraints, OnlineAdaEdge, OnlineConfig, OptimizationTarget, RewardEvaluator, TargetComponent,
+};
+use adaedge_datasets::{CbfConfig, CbfStream, SegmentSource};
+use std::collections::HashMap;
+use std::time::Instant;
+
+const SEGMENTS: usize = 100;
+const WARMUP: usize = 40;
+const W1: f64 = 0.524;
+const W2: f64 = 0.476;
+
+fn main() {
+    let sweep = ratio_sweep();
+    let reg = CodecRegistry::new(4);
+    let model = frozen_model(ModelKind::RForest, 17);
+    let mut stream = CbfStream::new(CbfConfig::default(), SEGMENT_LEN);
+    let segments: Vec<Vec<f64>> = (0..SEGMENTS).map(|_| stream.next_segment()).collect();
+    let eval = RewardEvaluator::new(OptimizationTarget::ml(), Some(model.clone()), INSTANCE_LEN);
+
+    println!(
+        "Figure 11: complex target w1*C_thr + w2*Acc_rforest (w1={W1}, w2={W2});\nhigher is better\n"
+    );
+
+    // Pass 1: measure per (codec, ratio) mean throughput and ML accuracy.
+    struct Cell {
+        throughput: f64,
+        accuracy: f64,
+    }
+    let mut cells: HashMap<(CodecId, usize), Option<Cell>> = HashMap::new();
+    let arms = CodecRegistry::lossy_candidates();
+    for (ri, &ratio) in sweep.iter().enumerate() {
+        for &codec in &arms {
+            let lossy = reg.get_lossy(codec).unwrap();
+            let mut thrs = Vec::new();
+            let mut accs = Vec::new();
+            let mut failed = false;
+            for seg in &segments {
+                let t0 = Instant::now();
+                match lossy.compress_to_ratio(seg, ratio) {
+                    Ok(block) => {
+                        let secs = t0.elapsed().as_secs_f64().max(1e-9);
+                        thrs.push((seg.len() * 8) as f64 / secs);
+                        let rec = reg.decompress(&block).unwrap();
+                        accs.push(eval.ml_accuracy(seg, &rec));
+                    }
+                    Err(_) => {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+            cells.insert(
+                (codec, ri),
+                (!failed).then(|| Cell {
+                    throughput: mean(&thrs),
+                    accuracy: mean(&accs),
+                }),
+            );
+        }
+    }
+    // Global min–max normalization of throughput across the figure.
+    let thr_values: Vec<f64> = cells.values().flatten().map(|c| c.throughput).collect();
+    let (tmin, tmax) = (
+        thr_values.iter().cloned().fold(f64::INFINITY, f64::min),
+        thr_values.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+    );
+    let norm = |thr: f64| {
+        if tmax > tmin {
+            ((thr - tmin) / (tmax - tmin)).clamp(0.0, 1.0)
+        } else {
+            0.5
+        }
+    };
+
+    let mut series = Vec::new();
+
+    // MAB: online pipeline optimizing throughput + ML accuracy; its figure
+    // value reuses the global normalization for comparability.
+    let target = OptimizationTarget::complex(vec![
+        (W1, TargetComponent::Throughput),
+        (W2, TargetComponent::MlAccuracy),
+    ]);
+    let mut mab = MethodSeries::new("mab");
+    for &ratio in &sweep {
+        let constraints = Constraints::online(100_000.0, ratio * 64.0 * 100_000.0, SEGMENT_LEN);
+        let mut config = OnlineConfig::new(constraints, target.clone());
+        config.model = Some(model.clone());
+        config.instance_len = INSTANCE_LEN;
+        // Force the lossy path so the figure isolates lossy selection, as
+        // the paper's Figure 11 candidates are all lossy.
+        config.lossless_arms = vec![CodecId::Raw];
+        let mut edge = OnlineAdaEdge::new(config).expect("valid config");
+        let mut vals = Vec::new();
+        let mut failed = false;
+        for seg in &segments {
+            match edge.process_segment(seg) {
+                Ok(out) => {
+                    // Compression time only (selection.seconds); the reward
+                    // evaluation runs on its own thread in the paper's setup
+                    // and must not count against C_thr.
+                    let thr = (seg.len() * 8) as f64 / out.selection.seconds.max(1e-9);
+                    let rec = edge.registry().decompress(&out.selection.block).unwrap();
+                    vals.push(W1 * norm(thr) + W2 * eval.ml_accuracy(seg, &rec));
+                }
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        mab.push((!failed).then(|| mean(&vals[WARMUP.min(vals.len())..])));
+    }
+    series.push(mab);
+
+    for &codec in &arms {
+        let mut s = MethodSeries::new(codec.name());
+        for ri in 0..sweep.len() {
+            let v = cells[&(codec, ri)]
+                .as_ref()
+                .map(|c| W1 * norm(c.throughput) + W2 * c.accuracy);
+            s.push(v);
+        }
+        series.push(s);
+    }
+
+    print_table(
+        "Fig 11 speed + accuracy target value",
+        "ratio",
+        &sweep,
+        &series,
+        4,
+    );
+    println!(
+        "\nexpected shape (paper): a crossover between PAA (fast) and \
+         BUFF-lossy (accurate) near ratio 0.25; the MAB follows the winner; \
+         PLA (slow knot search) trails."
+    );
+}

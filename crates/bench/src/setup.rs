@@ -1,0 +1,118 @@
+//! Shared experiment setup: frozen models and the baseline pair sets.
+
+use adaedge_codecs::CodecId;
+use adaedge_core::baselines::FixedPair;
+use adaedge_datasets::{CbfConfig, CbfGenerator};
+use adaedge_ml::{Dataset, ForestConfig, KMeansConfig, Model, TreeConfig};
+
+/// Points per streamed segment (8 CBF instances).
+pub const SEGMENT_LEN: usize = 1024;
+/// Points per dataset instance (classic CBF length).
+pub const INSTANCE_LEN: usize = 128;
+
+/// Which frozen model an experiment evaluates against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// CART decision tree.
+    DTree,
+    /// Random forest.
+    RForest,
+    /// K-nearest neighbours.
+    Knn,
+    /// K-means clustering.
+    KMeans,
+}
+
+impl ModelKind {
+    /// Display name matching the paper's figure captions.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::DTree => "dtree",
+            ModelKind::RForest => "rforest",
+            ModelKind::Knn => "knn",
+            ModelKind::KMeans => "kmeans",
+        }
+    }
+
+    /// The four models of Figure 7.
+    pub const ALL: [ModelKind; 4] = [
+        ModelKind::DTree,
+        ModelKind::RForest,
+        ModelKind::Knn,
+        ModelKind::KMeans,
+    ];
+}
+
+/// Train the §IV-D frozen model on raw CBF data (centralized training on
+/// the raw format; predictions on raw data are ground truth).
+pub fn frozen_model(kind: ModelKind, seed: u64) -> Model {
+    let mut gen = CbfGenerator::new(CbfConfig {
+        seed,
+        ..Default::default()
+    });
+    let (rows, labels) = gen.dataset(40);
+    match kind {
+        ModelKind::DTree => Model::train_dtree(
+            &Dataset::new(rows, labels),
+            TreeConfig {
+                max_depth: 10,
+                ..Default::default()
+            },
+        ),
+        ModelKind::RForest => Model::train_rforest(
+            &Dataset::new(rows, labels),
+            ForestConfig {
+                n_trees: 15,
+                ..Default::default()
+            },
+        ),
+        ModelKind::Knn => Model::train_knn(&Dataset::new(rows, labels), 3),
+        ModelKind::KMeans => Model::train_kmeans(
+            &Dataset::unlabeled(rows),
+            KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        ),
+    }
+}
+
+/// The `lossless_lossy` fixed pairs highlighted in Figures 12–14.
+pub fn offline_fixed_pairs() -> Vec<FixedPair> {
+    vec![
+        FixedPair::new(CodecId::Gzip, CodecId::BuffLossy),
+        FixedPair::new(CodecId::Snappy, CodecId::BuffLossy),
+        FixedPair::new(CodecId::Gorilla, CodecId::BuffLossy),
+        FixedPair::new(CodecId::Sprintz, CodecId::BuffLossy),
+        FixedPair::new(CodecId::Buff, CodecId::BuffLossy),
+        FixedPair::new(CodecId::Sprintz, CodecId::Paa),
+        FixedPair::new(CodecId::Sprintz, CodecId::Pla),
+        FixedPair::new(CodecId::Sprintz, CodecId::Fft),
+        FixedPair::new(CodecId::Sprintz, CodecId::RrdSample),
+        FixedPair::new(CodecId::Gorilla, CodecId::Fft),
+        FixedPair::new(CodecId::Gorilla, CodecId::Pla),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn models_train_and_predict() {
+        for kind in ModelKind::ALL {
+            let model = frozen_model(kind, 5);
+            assert_eq!(model.dim(), INSTANCE_LEN);
+            assert_eq!(model.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn pairs_cover_the_figures() {
+        let pairs = offline_fixed_pairs();
+        let names: Vec<String> = pairs.iter().map(|p| p.name()).collect();
+        assert!(names.contains(&"gzip_bufflossy".to_string()));
+        assert!(names.contains(&"gorilla_fft".to_string()));
+        assert!(names.contains(&"gorilla_pla".to_string()));
+    }
+}

@@ -1,0 +1,313 @@
+//! MSB-first bit-level reader and writer used by the bit-oriented codecs
+//! (Gorilla, Chimp, Sprintz, BUFF, dictionary, DEFLATE-style Huffman coding).
+//!
+//! Bits are packed most-significant-bit first within each byte, so the first
+//! bit written lands in bit 7 of byte 0. This matches the conventional layout
+//! used by Gorilla-style time-series codecs and makes hex dumps readable.
+
+/// Append-only bit writer over a growable byte buffer.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Number of valid bits in `acc` (0..=7). Bits live in the high end.
+    nacc: u32,
+    acc: u8,
+}
+
+impl BitWriter {
+    /// Create an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a writer with capacity for roughly `bytes` bytes of output.
+    pub fn with_capacity(bytes: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(bytes),
+            nacc: 0,
+            acc: 0,
+        }
+    }
+
+    /// Write a single bit (the low bit of `bit`).
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        self.acc |= (bit as u8) << (7 - self.nacc);
+        self.nacc += 1;
+        if self.nacc == 8 {
+            self.buf.push(self.acc);
+            self.acc = 0;
+            self.nacc = 0;
+        }
+    }
+
+    /// Write the low `nbits` bits of `value`, most significant first.
+    ///
+    /// `nbits` may be 0 (a no-op) up to 64.
+    #[inline]
+    pub fn write_bits(&mut self, value: u64, nbits: u32) {
+        debug_assert!(nbits <= 64);
+        if nbits == 0 {
+            return;
+        }
+        let mut remaining = nbits;
+        // Mask the value to the requested width to tolerate dirty high bits.
+        let value = if nbits == 64 {
+            value
+        } else {
+            value & ((1u64 << nbits) - 1)
+        };
+        while remaining > 0 {
+            let free = 8 - self.nacc;
+            let take = free.min(remaining);
+            let shift = remaining - take;
+            let chunk = ((value >> shift) & ((1u64 << take) - 1)) as u8;
+            self.acc |= chunk << (free - take);
+            self.nacc += take;
+            remaining -= take;
+            if self.nacc == 8 {
+                self.buf.push(self.acc);
+                self.acc = 0;
+                self.nacc = 0;
+            }
+        }
+    }
+
+    /// Pad with zero bits to the next byte boundary.
+    pub fn align_to_byte(&mut self) {
+        if self.nacc > 0 {
+            self.buf.push(self.acc);
+            self.acc = 0;
+            self.nacc = 0;
+        }
+    }
+
+    /// Write a full byte slice. Aligns to a byte boundary first.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.align_to_byte();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Total number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.buf.len() * 8 + self.nacc as usize
+    }
+
+    /// Current output length in bytes, counting any partial byte.
+    pub fn byte_len(&self) -> usize {
+        self.buf.len() + usize::from(self.nacc > 0)
+    }
+
+    /// Finish writing and return the packed bytes (zero-padded to a byte).
+    pub fn finish(mut self) -> Vec<u8> {
+        self.align_to_byte();
+        self.buf
+    }
+}
+
+/// Error returned when a [`BitReader`] runs out of input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfBits;
+
+impl std::fmt::Display for OutOfBits {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bit reader exhausted")
+    }
+}
+
+impl std::error::Error for OutOfBits {}
+
+/// MSB-first bit reader over a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    /// Absolute bit cursor from the start of `buf`.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Create a reader over `buf` starting at bit 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Number of bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() * 8 - self.pos
+    }
+
+    /// Current absolute bit position.
+    pub fn bit_pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Read one bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<bool, OutOfBits> {
+        if self.pos >= self.buf.len() * 8 {
+            return Err(OutOfBits);
+        }
+        let byte = self.buf[self.pos / 8];
+        let bit = (byte >> (7 - (self.pos % 8))) & 1;
+        self.pos += 1;
+        Ok(bit == 1)
+    }
+
+    /// Read `nbits` bits (0..=64), returning them in the low bits of the
+    /// result, most significant first.
+    #[inline]
+    pub fn read_bits(&mut self, nbits: u32) -> Result<u64, OutOfBits> {
+        debug_assert!(nbits <= 64);
+        if nbits == 0 {
+            return Ok(0);
+        }
+        if self.remaining() < nbits as usize {
+            return Err(OutOfBits);
+        }
+        let mut out: u64 = 0;
+        let mut remaining = nbits;
+        while remaining > 0 {
+            let byte = self.buf[self.pos / 8];
+            let offset = (self.pos % 8) as u32;
+            let avail = 8 - offset;
+            let take = avail.min(remaining);
+            let chunk = ((byte >> (avail - take)) & ((1u16 << take) - 1) as u8) as u64;
+            out = (out << take) | chunk;
+            self.pos += take as usize;
+            remaining -= take;
+        }
+        Ok(out)
+    }
+
+    /// Skip forward to the next byte boundary.
+    pub fn align_to_byte(&mut self) {
+        let rem = self.pos % 8;
+        if rem != 0 {
+            self.pos += 8 - rem;
+        }
+    }
+
+    /// Read `n` whole bytes after aligning to a byte boundary.
+    pub fn read_bytes(&mut self, n: usize) -> Result<&'a [u8], OutOfBits> {
+        self.align_to_byte();
+        let start = self.pos / 8;
+        if start + n > self.buf.len() {
+            return Err(OutOfBits);
+        }
+        self.pos += n * 8;
+        Ok(&self.buf[start..start + n])
+    }
+}
+
+/// Zigzag-encode a signed integer to an unsigned one, mapping
+/// 0, -1, 1, -2, 2, ... to 0, 1, 2, 3, 4, ...
+#[inline]
+pub fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+#[inline]
+pub fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Minimum number of bits needed to represent `v` (0 needs 0 bits).
+#[inline]
+pub fn bits_needed(v: u64) -> u32 {
+    64 - v.leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_roundtrip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn multi_bit_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xDEADBEEF, 32);
+        w.write_bits(0, 0);
+        w.write_bits(u64::MAX, 64);
+        w.write_bits(1, 1);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(32).unwrap(), 0xDEADBEEF);
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+        assert_eq!(r.read_bits(1).unwrap(), 1);
+    }
+
+    #[test]
+    fn dirty_high_bits_are_masked() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xFF, 4); // only low 4 bits should land
+        w.write_bits(0b1010, 4);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0b1111_1010]);
+    }
+
+    #[test]
+    fn align_and_bytes() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2);
+        w.write_bytes(&[0xAB, 0xCD]);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0b1100_0000, 0xAB, 0xCD]);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(2).unwrap(), 0b11);
+        assert_eq!(r.read_bytes(2).unwrap(), &[0xAB, 0xCD]);
+    }
+
+    #[test]
+    fn out_of_bits_is_reported() {
+        let bytes = [0u8; 1];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(8).unwrap(), 0);
+        assert!(r.read_bit().is_err());
+        assert!(r.read_bits(1).is_err());
+    }
+
+    #[test]
+    fn bit_len_counts_partials() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(0, 13);
+        assert_eq!(w.bit_len(), 13);
+        assert_eq!(w.byte_len(), 2);
+    }
+
+    #[test]
+    fn zigzag_roundtrip_extremes() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, 12345, -98765] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+    }
+
+    #[test]
+    fn bits_needed_basics() {
+        assert_eq!(bits_needed(0), 0);
+        assert_eq!(bits_needed(1), 1);
+        assert_eq!(bits_needed(255), 8);
+        assert_eq!(bits_needed(256), 9);
+        assert_eq!(bits_needed(u64::MAX), 64);
+    }
+}

@@ -1,0 +1,406 @@
+//! DEFLATE-style byte compression: LZ77 tokens entropy-coded with canonical
+//! Huffman over the standard literal/length and distance alphabets.
+//!
+//! The bitstream is self-describing but deliberately *not* RFC 1951
+//! compatible — AdaEdge never exchanges compressed bytes with foreign
+//! tools, so we use a simpler code-length header (4-bit lengths with
+//! zero-run escapes) instead of DEFLATE's meta-Huffman header.
+//!
+//! Three arms are built on this engine: `gzip` (deepest search, slowest,
+//! strongest), `zlib-1/6/9` (the zlib ladder). `snappy` lives in
+//! [`crate::snappy`] and skips entropy coding entirely.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::block::{CodecId, CompressedBlock};
+use crate::error::{CodecError, Result};
+use crate::huffman::{Decoder, Encoder};
+use crate::lz::{lz77_expand, lz77_tokens, LzConfig, Token, MAX_MATCH, MIN_MATCH};
+use crate::traits::{Codec, CodecKind};
+use crate::util::{bytes_to_f64s, f64s_to_bytes};
+
+/// End-of-block symbol in the literal/length alphabet.
+const EOB: usize = 256;
+/// Literal/length alphabet size (DEFLATE's 286).
+const LITLEN_SYMS: usize = 286;
+/// Distance alphabet size (DEFLATE's 30).
+const DIST_SYMS: usize = 30;
+
+/// DEFLATE length-code table: (base length, extra bits) for codes 257..=285.
+const LEN_TABLE: [(u16, u8); 29] = [
+    (3, 0),
+    (4, 0),
+    (5, 0),
+    (6, 0),
+    (7, 0),
+    (8, 0),
+    (9, 0),
+    (10, 0),
+    (11, 1),
+    (13, 1),
+    (15, 1),
+    (17, 1),
+    (19, 2),
+    (23, 2),
+    (27, 2),
+    (31, 2),
+    (35, 3),
+    (43, 3),
+    (51, 3),
+    (59, 3),
+    (67, 4),
+    (83, 4),
+    (99, 4),
+    (115, 4),
+    (131, 5),
+    (163, 5),
+    (195, 5),
+    (227, 5),
+    (258, 0),
+];
+
+/// DEFLATE distance-code table: (base distance, extra bits) for codes 0..=29.
+const DIST_TABLE: [(u16, u8); 30] = [
+    (1, 0),
+    (2, 0),
+    (3, 0),
+    (4, 0),
+    (5, 1),
+    (7, 1),
+    (9, 2),
+    (13, 2),
+    (17, 3),
+    (25, 3),
+    (33, 4),
+    (49, 4),
+    (65, 5),
+    (97, 5),
+    (129, 6),
+    (193, 6),
+    (257, 7),
+    (385, 7),
+    (513, 8),
+    (769, 8),
+    (1025, 9),
+    (1537, 9),
+    (2049, 10),
+    (3073, 10),
+    (4097, 11),
+    (6145, 11),
+    (8193, 12),
+    (12289, 12),
+    (16385, 13),
+    (24577, 13),
+];
+
+/// Map a match length (3..=258) to (symbol offset 0..28, extra bits, extra value).
+fn length_code(len: u16) -> (usize, u8, u16) {
+    debug_assert!((MIN_MATCH as u16..=MAX_MATCH as u16).contains(&len));
+    // Binary search over base values.
+    let mut idx = LEN_TABLE
+        .partition_point(|&(base, _)| base <= len)
+        .saturating_sub(1);
+    // Length 258 maps to the final code with 0 extra bits.
+    if len == 258 {
+        idx = 28;
+    }
+    let (base, extra) = LEN_TABLE[idx];
+    (idx, extra, len - base)
+}
+
+/// Map a distance (1..=32768) to (symbol 0..29, extra bits, extra value).
+fn dist_code(dist: u16) -> (usize, u8, u16) {
+    let idx = DIST_TABLE
+        .partition_point(|&(base, _)| base <= dist)
+        .saturating_sub(1);
+    let (base, extra) = DIST_TABLE[idx];
+    (idx, extra, dist - base)
+}
+
+/// Write code lengths: nibble 1..=15 is a length; nibble 0 is followed by an
+/// 8-bit (run−1) count of zero lengths.
+fn write_lens(w: &mut BitWriter, lens: &[u32]) {
+    let mut i = 0;
+    while i < lens.len() {
+        if lens[i] == 0 {
+            let mut run = 1usize;
+            while i + run < lens.len() && lens[i + run] == 0 && run < 256 {
+                run += 1;
+            }
+            w.write_bits(0, 4);
+            w.write_bits((run - 1) as u64, 8);
+            i += run;
+        } else {
+            w.write_bits(lens[i] as u64, 4);
+            i += 1;
+        }
+    }
+}
+
+fn read_lens(r: &mut BitReader<'_>, n: usize) -> Result<Vec<u32>> {
+    let mut lens = Vec::with_capacity(n);
+    while lens.len() < n {
+        let nib = r.read_bits(4)? as u32;
+        if nib == 0 {
+            let run = r.read_bits(8)? as usize + 1;
+            if lens.len() + run > n {
+                return Err(CodecError::Corrupt("zero run overflows length table"));
+            }
+            lens.extend(std::iter::repeat_n(0, run));
+        } else {
+            lens.push(nib);
+        }
+    }
+    Ok(lens)
+}
+
+/// Compress raw bytes with the given LZ configuration.
+pub fn deflate_bytes(data: &[u8], config: LzConfig) -> Vec<u8> {
+    let tokens = lz77_tokens(data, config);
+    // Frequency pass.
+    let mut lit_freq = vec![0u64; LITLEN_SYMS];
+    let mut dist_freq = vec![0u64; DIST_SYMS];
+    for t in &tokens {
+        match *t {
+            Token::Literal(b) => lit_freq[b as usize] += 1,
+            Token::Match { len, dist } => {
+                lit_freq[257 + length_code(len).0] += 1;
+                dist_freq[dist_code(dist).0] += 1;
+            }
+        }
+    }
+    lit_freq[EOB] += 1;
+    let lit_enc = Encoder::from_freqs(&lit_freq);
+    let dist_enc = Encoder::from_freqs(&dist_freq);
+
+    let mut w = BitWriter::with_capacity(data.len() / 2 + 64);
+    write_lens(&mut w, lit_enc.lens());
+    write_lens(&mut w, dist_enc.lens());
+    for t in &tokens {
+        match *t {
+            Token::Literal(b) => {
+                lit_enc.write(&mut w, b as usize).expect("literal has code");
+            }
+            Token::Match { len, dist } => {
+                let (lsym, lextra, lval) = length_code(len);
+                lit_enc.write(&mut w, 257 + lsym).expect("length has code");
+                w.write_bits(lval as u64, lextra as u32);
+                let (dsym, dextra, dval) = dist_code(dist);
+                dist_enc.write(&mut w, dsym).expect("distance has code");
+                w.write_bits(dval as u64, dextra as u32);
+            }
+        }
+    }
+    lit_enc.write(&mut w, EOB).expect("EOB has code");
+    w.finish()
+}
+
+/// Decompress bytes produced by [`deflate_bytes`], expecting `expected_len`
+/// output bytes.
+pub fn inflate_bytes(payload: &[u8], expected_len: usize) -> Result<Vec<u8>> {
+    let mut r = BitReader::new(payload);
+    let lit_lens = read_lens(&mut r, LITLEN_SYMS)?;
+    let dist_lens = read_lens(&mut r, DIST_SYMS)?;
+    let lit_dec = Decoder::from_lens(&lit_lens)?;
+    let dist_dec = Decoder::from_lens(&dist_lens)?;
+    let mut tokens: Vec<Token> = Vec::with_capacity(expected_len / 4 + 8);
+    loop {
+        let sym = lit_dec.read(&mut r)? as usize;
+        if sym == EOB {
+            break;
+        }
+        if sym < 256 {
+            tokens.push(Token::Literal(sym as u8));
+        } else {
+            let idx = sym - 257;
+            if idx >= LEN_TABLE.len() {
+                return Err(CodecError::Corrupt("invalid length symbol"));
+            }
+            let (base, extra) = LEN_TABLE[idx];
+            let len = base + r.read_bits(extra as u32)? as u16;
+            let dsym = dist_dec.read(&mut r)? as usize;
+            if dsym >= DIST_TABLE.len() {
+                return Err(CodecError::Corrupt("invalid distance symbol"));
+            }
+            let (dbase, dextra) = DIST_TABLE[dsym];
+            let dist = dbase + r.read_bits(dextra as u32)? as u16;
+            tokens.push(Token::Match { len, dist });
+        }
+    }
+    let out = lz77_expand(&tokens, expected_len).map_err(CodecError::Corrupt)?;
+    if out.len() != expected_len {
+        return Err(CodecError::Corrupt("inflated length mismatch"));
+    }
+    Ok(out)
+}
+
+/// A byte-compression codec backed by the DEFLATE-style engine.
+#[derive(Debug, Clone, Copy)]
+pub struct Deflate {
+    id: CodecId,
+    config: LzConfig,
+}
+
+impl Deflate {
+    /// `gzip`: deepest chain search — slowest, strongest arm.
+    pub fn gzip() -> Self {
+        Self {
+            id: CodecId::Gzip,
+            config: LzConfig::level(10),
+        }
+    }
+
+    /// `zlib-1`: fastest Huffman-coded setting.
+    pub fn zlib1() -> Self {
+        Self {
+            id: CodecId::Zlib1,
+            config: LzConfig::level(1),
+        }
+    }
+
+    /// `zlib-6`: default setting.
+    pub fn zlib6() -> Self {
+        Self {
+            id: CodecId::Zlib6,
+            config: LzConfig::level(6),
+        }
+    }
+
+    /// `zlib-9`: strongest zlib setting.
+    pub fn zlib9() -> Self {
+        Self {
+            id: CodecId::Zlib9,
+            config: LzConfig::level(9),
+        }
+    }
+}
+
+impl Codec for Deflate {
+    fn id(&self) -> CodecId {
+        self.id
+    }
+
+    fn kind(&self) -> CodecKind {
+        CodecKind::Lossless
+    }
+
+    fn compress(&self, data: &[f64]) -> Result<CompressedBlock> {
+        if data.is_empty() {
+            return Err(CodecError::EmptyInput);
+        }
+        let bytes = f64s_to_bytes(data);
+        let payload = deflate_bytes(&bytes, self.config);
+        Ok(CompressedBlock::new(self.id, data.len(), payload))
+    }
+
+    fn decompress(&self, block: &CompressedBlock) -> Result<Vec<f64>> {
+        self.check_block(block)?;
+        let bytes = inflate_bytes(&block.payload, block.n_points as usize * 8)?;
+        bytes_to_f64s(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_code_table_covers_range() {
+        for len in MIN_MATCH as u16..=MAX_MATCH as u16 {
+            let (idx, extra, val) = length_code(len);
+            let (base, e) = LEN_TABLE[idx];
+            assert_eq!(e, extra);
+            assert_eq!(base + val, len, "len {len}");
+            assert!(val < (1 << extra) || extra == 0 && val == 0);
+        }
+    }
+
+    #[test]
+    fn dist_code_table_covers_range() {
+        for dist in [1u16, 2, 3, 4, 5, 100, 1024, 5000, 32767] {
+            let (idx, extra, val) = dist_code(dist);
+            let (base, e) = DIST_TABLE[idx];
+            assert_eq!(e, extra);
+            assert_eq!(base + val, dist, "dist {dist}");
+        }
+    }
+
+    #[test]
+    fn bytes_roundtrip_text() {
+        let data = b"the quick brown fox jumps over the lazy dog. the quick brown fox!".repeat(20);
+        for cfg in [LzConfig::level(1), LzConfig::level(6), LzConfig::level(9)] {
+            let c = deflate_bytes(&data, cfg);
+            assert!(c.len() < data.len());
+            assert_eq!(inflate_bytes(&c, data.len()).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn bytes_roundtrip_incompressible() {
+        let mut x = 0x123456789ABCDEFu64;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 32) as u8
+            })
+            .collect();
+        let c = deflate_bytes(&data, LzConfig::level(6));
+        assert_eq!(inflate_bytes(&c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_byte_stream_roundtrip() {
+        let c = deflate_bytes(&[], LzConfig::level(6));
+        assert_eq!(inflate_bytes(&c, 0).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn float_codec_roundtrips() {
+        let data: Vec<f64> = (0..500).map(|i| ((i / 10) as f64) * 0.5).collect();
+        for codec in [
+            Deflate::gzip(),
+            Deflate::zlib1(),
+            Deflate::zlib6(),
+            Deflate::zlib9(),
+        ] {
+            let block = codec.compress(&data).unwrap();
+            assert_eq!(codec.decompress(&block).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn repeated_values_compress_well() {
+        let data: Vec<f64> = (0..2000).map(|i| [1.0, 2.0][(i / 100) % 2]).collect();
+        let block = Deflate::zlib9().compress(&data).unwrap();
+        assert!(block.ratio() < 0.1, "ratio {}", block.ratio());
+    }
+
+    #[test]
+    fn stronger_levels_do_no_worse() {
+        let data: Vec<f64> = (0..3000)
+            .map(|i| ((i % 50) as f64 * 0.1).round() / 10.0)
+            .collect();
+        let l1 = Deflate::zlib1().compress(&data).unwrap().compressed_bytes();
+        let l9 = Deflate::zlib9().compress(&data).unwrap().compressed_bytes();
+        let gz = Deflate::gzip().compress(&data).unwrap().compressed_bytes();
+        assert!(l9 <= l1, "l9 {l9} vs l1 {l1}");
+        assert!(gz <= l9 + 8, "gzip {gz} vs l9 {l9}");
+    }
+
+    #[test]
+    fn wrong_length_detected() {
+        let data = vec![3.0; 64];
+        let block = Deflate::zlib6().compress(&data).unwrap();
+        assert!(inflate_bytes(&block.payload, 100).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_detected() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let block = Deflate::zlib6().compress(&data).unwrap();
+        let mut bad = block.clone();
+        bad.payload.truncate(8);
+        assert!(Deflate::zlib6().decompress(&bad).is_err());
+    }
+}

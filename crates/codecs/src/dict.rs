@@ -1,0 +1,145 @@
+//! Dictionary encoding for doubles: distinct bit patterns are collected in
+//! a per-segment dictionary and each point stores a bit-packed code.
+//!
+//! Highly effective on low-entropy signals (few distinct values), which is
+//! exactly the regime where it wins arms in the data-shift experiment
+//! (Figure 15). On high-entropy data the dictionary approaches the segment
+//! size and the ratio exceeds 1.0 — the MAB learns to avoid it.
+
+use crate::bitio::{bits_needed, BitReader, BitWriter};
+use crate::block::{CodecId, CompressedBlock};
+use crate::error::{CodecError, Result};
+use crate::traits::{Codec, CodecKind};
+use std::collections::HashMap;
+
+/// Dictionary codec. Stateless.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Dict;
+
+impl Codec for Dict {
+    fn id(&self) -> CodecId {
+        CodecId::Dict
+    }
+
+    fn kind(&self) -> CodecKind {
+        CodecKind::Lossless
+    }
+
+    fn compress(&self, data: &[f64]) -> Result<CompressedBlock> {
+        if data.is_empty() {
+            return Err(CodecError::EmptyInput);
+        }
+        // First pass: collect distinct bit patterns in first-seen order.
+        let mut index: HashMap<u64, u32> = HashMap::new();
+        let mut entries: Vec<u64> = Vec::new();
+        let mut codes: Vec<u32> = Vec::with_capacity(data.len());
+        for &v in data {
+            let bits = v.to_bits();
+            let code = *index.entry(bits).or_insert_with(|| {
+                entries.push(bits);
+                (entries.len() - 1) as u32
+            });
+            codes.push(code);
+        }
+        let code_width = bits_needed(entries.len() as u64 - 1).max(1);
+        let mut w = BitWriter::with_capacity(4 + entries.len() * 8 + data.len() * 2);
+        w.write_bits(entries.len() as u64, 32);
+        for &e in &entries {
+            w.write_bits(e, 64);
+        }
+        for &c in &codes {
+            w.write_bits(c as u64, code_width);
+        }
+        Ok(CompressedBlock::new(self.id(), data.len(), w.finish()))
+    }
+
+    fn decompress(&self, block: &CompressedBlock) -> Result<Vec<f64>> {
+        self.check_block(block)?;
+        let n = block.n_points as usize;
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let mut r = BitReader::new(&block.payload);
+        let dict_len = r.read_bits(32)? as usize;
+        if dict_len == 0 || dict_len > n {
+            return Err(CodecError::Corrupt("dictionary size out of range"));
+        }
+        let mut entries = Vec::with_capacity(dict_len);
+        for _ in 0..dict_len {
+            entries.push(f64::from_bits(r.read_bits(64)?));
+        }
+        let code_width = bits_needed(dict_len as u64 - 1).max(1);
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let code = r.read_bits(code_width)? as usize;
+            let v = entries
+                .get(code)
+                .copied()
+                .ok_or(CodecError::Corrupt("code beyond dictionary"))?;
+            out.push(v);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[f64]) {
+        let block = Dict.compress(data).unwrap();
+        let back = Dict.decompress(&block).unwrap();
+        assert_eq!(back.len(), data.len());
+        for (a, b) in data.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn roundtrip_low_entropy() {
+        let data: Vec<f64> = (0..1000).map(|i| [1.0, 2.5, -3.0][i % 3]).collect();
+        roundtrip(&data);
+        let block = Dict.compress(&data).unwrap();
+        // 3 entries → 2-bit codes → ratio ≈ 2/64 + dict overhead.
+        assert!(block.ratio() < 0.05, "ratio {}", block.ratio());
+    }
+
+    #[test]
+    fn roundtrip_all_distinct() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64 * 1.0001).collect();
+        roundtrip(&data);
+        let block = Dict.compress(&data).unwrap();
+        // All distinct: dictionary alone equals the input — ratio above 1.
+        assert!(block.ratio() > 1.0);
+    }
+
+    #[test]
+    fn roundtrip_single_value() {
+        roundtrip(&[std::f64::consts::PI]);
+        roundtrip(&[0.0; 17]);
+    }
+
+    #[test]
+    fn nan_patterns_preserved() {
+        // Dict operates on bit patterns, so NaN payloads roundtrip exactly.
+        let data = vec![f64::NAN, 1.0, f64::NAN, 1.0];
+        let block = Dict.compress(&data).unwrap();
+        let back = Dict.decompress(&block).unwrap();
+        assert!(back[0].is_nan() && back[2].is_nan());
+        assert_eq!(back[1], 1.0);
+    }
+
+    #[test]
+    fn corrupt_dict_len_detected() {
+        let block = Dict.compress(&[1.0, 2.0, 1.0]).unwrap();
+        let mut bad = block.clone();
+        // Overwrite dict length with a huge value.
+        bad.payload[0..4].copy_from_slice(&0xFFFF_FFFFu32.to_be_bytes());
+        assert!(Dict.decompress(&bad).is_err());
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(Dict.compress(&[]).is_err());
+    }
+}

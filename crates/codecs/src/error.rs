@@ -1,0 +1,66 @@
+//! Error type shared by every codec.
+
+use crate::block::CodecId;
+
+/// Errors produced while compressing, decompressing or recoding a segment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CodecError {
+    /// The input segment was empty; codecs require at least one point.
+    EmptyInput,
+    /// The payload was truncated or structurally invalid.
+    Corrupt(&'static str),
+    /// The block was produced by a different codec than the one asked to
+    /// decode it.
+    WrongCodec {
+        /// The codec asked to decode the block.
+        expected: CodecId,
+        /// The codec recorded in the block header.
+        found: CodecId,
+    },
+    /// A lossy codec cannot reach the requested target compression ratio.
+    /// Carries the smallest ratio the codec can reach on this segment.
+    RatioUnreachable {
+        /// The ratio the caller asked for.
+        requested: f64,
+        /// The smallest ratio the codec can reach on this segment.
+        minimum: f64,
+    },
+    /// A value cannot be represented by the codec (e.g. non-finite floats or
+    /// fixed-point overflow in Sprintz/BUFF).
+    UnsupportedValue(&'static str),
+    /// Recoding (virtual decompression) is not supported between the given
+    /// source block and the requested destination.
+    RecodeUnsupported(&'static str),
+    /// The requested parameter is out of the codec's accepted range.
+    InvalidParameter(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::EmptyInput => write!(f, "input segment is empty"),
+            CodecError::Corrupt(what) => write!(f, "corrupt payload: {what}"),
+            CodecError::WrongCodec { expected, found } => {
+                write!(f, "wrong codec: expected {expected:?}, found {found:?}")
+            }
+            CodecError::RatioUnreachable { requested, minimum } => write!(
+                f,
+                "target ratio {requested:.4} unreachable (minimum {minimum:.4})"
+            ),
+            CodecError::UnsupportedValue(what) => write!(f, "unsupported value: {what}"),
+            CodecError::RecodeUnsupported(what) => write!(f, "recode unsupported: {what}"),
+            CodecError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<crate::bitio::OutOfBits> for CodecError {
+    fn from(_: crate::bitio::OutOfBits) -> Self {
+        CodecError::Corrupt("unexpected end of bit stream")
+    }
+}
+
+/// Convenient alias used across the crate.
+pub type Result<T> = std::result::Result<T, CodecError>;

@@ -1,0 +1,425 @@
+//! Truncated Fourier representation (Faloutsos et al., SIGMOD 1994).
+//!
+//! The segment is transformed with a full complex FFT (radix-2 for
+//! power-of-two lengths, Bluestein's chirp-z otherwise — both implemented
+//! here) and only the lowest `k` frequency bins are kept, discarding the
+//! high-frequency components as the paper describes. The DC bin is stored
+//! at full `f64` precision so SUM/AVG queries stay nearly exact (Figure 8);
+//! the remaining bins are stored as `f32` pairs.
+//!
+//! Payload: `dc: f64`, then `(re: f32, im: f32)` for bins `1..k`.
+//! Recoding truncates trailing bins — pure payload surgery (§IV-E).
+
+use crate::block::{CodecId, CompressedBlock, POINT_BYTES};
+use crate::error::{CodecError, Result};
+use crate::traits::{budget_bytes, check_lossy_args, Codec, CodecKind, LossyCodec};
+
+const BIN_BYTES: usize = 8;
+
+/// Minimal complex number for the FFT kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Construct from parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// e^{iθ}.
+    pub fn cis(theta: f64) -> Self {
+        Self {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    fn mul(self, o: Self) -> Self {
+        Self {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+
+    fn add(self, o: Self) -> Self {
+        Self {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
+    }
+
+    fn sub(self, o: Self) -> Self {
+        Self {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
+    }
+
+    fn scale(self, s: f64) -> Self {
+        Self {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT. `buf.len()` must be a power
+/// of two. Forward transform, no normalization.
+fn fft_pow2(buf: &mut [Complex]) {
+    let n = buf.len();
+    debug_assert!(n.is_power_of_two());
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = buf[start + k];
+                let v = buf[start + k + len / 2].mul(w);
+                buf[start + k] = u.add(v);
+                buf[start + k + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward DFT of arbitrary length via Bluestein's algorithm.
+fn fft_bluestein(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    let m = (2 * n - 1).next_power_of_two();
+    // chirp[k] = e^{-iπk²/n}; k² taken mod 2n to stay accurate for large k.
+    let chirp: Vec<Complex> = (0..n)
+        .map(|k| {
+            let kk = (k as u64 * k as u64) % (2 * n as u64);
+            Complex::cis(-std::f64::consts::PI * kk as f64 / n as f64)
+        })
+        .collect();
+    let mut a = vec![Complex::default(); m];
+    for k in 0..n {
+        a[k] = input[k].mul(chirp[k]);
+    }
+    let mut b = vec![Complex::default(); m];
+    b[0] = chirp[0].conj();
+    for k in 1..n {
+        let c = chirp[k].conj();
+        b[k] = c;
+        b[m - k] = c;
+    }
+    fft_pow2(&mut a);
+    fft_pow2(&mut b);
+    for k in 0..m {
+        a[k] = a[k].mul(b[k]);
+    }
+    // Inverse FFT of size m via conjugation.
+    for v in a.iter_mut() {
+        *v = v.conj();
+    }
+    fft_pow2(&mut a);
+    let scale = 1.0 / m as f64;
+    (0..n)
+        .map(|k| a[k].conj().scale(scale).mul(chirp[k]))
+        .collect()
+}
+
+/// Forward DFT (no normalization) of arbitrary length.
+pub fn dft(input: &[Complex]) -> Vec<Complex> {
+    if input.len().is_power_of_two() {
+        let mut buf = input.to_vec();
+        fft_pow2(&mut buf);
+        buf
+    } else {
+        fft_bluestein(input)
+    }
+}
+
+/// Inverse DFT with 1/n normalization.
+pub fn idft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    let conj: Vec<Complex> = input.iter().map(|c| c.conj()).collect();
+    let fwd = dft(&conj);
+    fwd.iter().map(|c| c.conj().scale(1.0 / n as f64)).collect()
+}
+
+/// FFT codec. Stateless.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Fft;
+
+impl Fft {
+    fn bins_for(n: usize, ratio: f64) -> usize {
+        let max_bins = (n / 2).max(1);
+        (budget_bytes(n, ratio) / BIN_BYTES).min(max_bins)
+    }
+
+    fn encode_bins(n: usize, spectrum: &[Complex], k: usize) -> CompressedBlock {
+        let mut payload = Vec::with_capacity(k * BIN_BYTES);
+        payload.extend_from_slice(&spectrum[0].re.to_le_bytes());
+        for bin in spectrum.iter().take(k).skip(1) {
+            payload.extend_from_slice(&(bin.re as f32).to_le_bytes());
+            payload.extend_from_slice(&(bin.im as f32).to_le_bytes());
+        }
+        CompressedBlock::new(CodecId::Fft, n, payload)
+    }
+}
+
+impl Codec for Fft {
+    fn id(&self) -> CodecId {
+        CodecId::Fft
+    }
+
+    fn kind(&self) -> CodecKind {
+        CodecKind::Lossy
+    }
+
+    fn compress(&self, data: &[f64]) -> Result<CompressedBlock> {
+        self.compress_to_ratio(data, 0.25)
+    }
+
+    fn decompress(&self, block: &CompressedBlock) -> Result<Vec<f64>> {
+        self.check_block(block)?;
+        let n = block.n_points as usize;
+        let payload = &block.payload;
+        if payload.len() < 8 || !payload.len().is_multiple_of(BIN_BYTES) {
+            return Err(CodecError::Corrupt("fft payload size"));
+        }
+        let k = payload.len() / BIN_BYTES;
+        if k > n / 2 + 1 {
+            return Err(CodecError::Corrupt("fft too many bins"));
+        }
+        let mut spectrum = vec![Complex::default(); n];
+        spectrum[0] = Complex::new(
+            f64::from_le_bytes(payload[..8].try_into().expect("8 bytes")),
+            0.0,
+        );
+        for (j, c) in payload[8..].chunks_exact(8).enumerate() {
+            let bin = j + 1;
+            let re = f32::from_le_bytes(c[..4].try_into().expect("4 bytes")) as f64;
+            let im = f32::from_le_bytes(c[4..].try_into().expect("4 bytes")) as f64;
+            spectrum[bin] = Complex::new(re, im);
+            spectrum[n - bin] = Complex::new(re, -im);
+        }
+        Ok(idft(&spectrum).into_iter().map(|c| c.re).collect())
+    }
+}
+
+impl LossyCodec for Fft {
+    fn compress_to_ratio(&self, data: &[f64], ratio: f64) -> Result<CompressedBlock> {
+        check_lossy_args(data.len(), ratio)?;
+        let n = data.len();
+        let k = Self::bins_for(n, ratio);
+        if k == 0 || budget_bytes(n, ratio) < BIN_BYTES {
+            return Err(CodecError::RatioUnreachable {
+                requested: ratio,
+                minimum: self.min_ratio(n),
+            });
+        }
+        for v in data {
+            if !v.is_finite() {
+                return Err(CodecError::UnsupportedValue("non-finite float"));
+            }
+        }
+        let input: Vec<Complex> = data.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        let spectrum = dft(&input);
+        Ok(Self::encode_bins(n, &spectrum, k))
+    }
+
+    fn min_ratio(&self, n: usize) -> f64 {
+        if n == 0 {
+            return 1.0;
+        }
+        BIN_BYTES as f64 / (n * POINT_BYTES) as f64
+    }
+
+    fn recode(&self, block: &CompressedBlock, ratio: f64) -> Result<CompressedBlock> {
+        self.check_block(block)?;
+        let n = block.n_points as usize;
+        check_lossy_args(n, ratio)?;
+        if block.ratio() <= ratio {
+            return Err(CodecError::RecodeUnsupported(
+                "block already at or below target ratio",
+            ));
+        }
+        let k_new = Self::bins_for(n, ratio);
+        if k_new == 0 {
+            return Err(CodecError::RatioUnreachable {
+                requested: ratio,
+                minimum: self.min_ratio(n),
+            });
+        }
+        let k_cur = block.payload.len() / BIN_BYTES;
+        if k_new >= k_cur {
+            return Err(CodecError::RecodeUnsupported(
+                "cannot shrink further at this granularity",
+            ));
+        }
+        // Drop the highest kept frequencies: truncate the payload.
+        let mut payload = block.payload.clone();
+        payload.truncate(k_new * BIN_BYTES);
+        Ok(CompressedBlock::new(CodecId::Fft, n, payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rmse(a: &[f64], b: &[f64]) -> f64 {
+        (a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>() / a.len() as f64).sqrt()
+    }
+
+    #[test]
+    fn dft_matches_naive_small() {
+        for n in [1usize, 2, 3, 5, 8, 12, 16, 17] {
+            let input: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+                .collect();
+            let fast = dft(&input);
+            for (k, f) in fast.iter().enumerate() {
+                let mut acc = Complex::default();
+                for (j, x) in input.iter().enumerate() {
+                    let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                    acc = acc.add(x.mul(Complex::cis(ang)));
+                }
+                assert!(
+                    (f.re - acc.re).abs() < 1e-8 && (f.im - acc.im).abs() < 1e-8,
+                    "n={n} k={k}: {f:?} vs {acc:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dft_idft_roundtrip() {
+        for n in [4usize, 7, 64, 100, 1000] {
+            let input: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64).sqrt(), -(i as f64) * 0.01))
+                .collect();
+            let back = idft(&dft(&input));
+            for (a, b) in input.iter().zip(&back) {
+                assert!((a.re - b.re).abs() < 1e-8 && (a.im - b.im).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn smooth_signal_reconstructs_well() {
+        let data: Vec<f64> = (0..512)
+            .map(|i| (i as f64 * 2.0 * std::f64::consts::PI / 512.0).sin() * 3.0 + 5.0)
+            .collect();
+        let block = Fft.compress_to_ratio(&data, 0.1).unwrap();
+        let back = Fft.decompress(&block).unwrap();
+        assert!(rmse(&data, &back) < 1e-3, "rmse {}", rmse(&data, &back));
+    }
+
+    #[test]
+    fn non_power_of_two_segment() {
+        let data: Vec<f64> = (0..777)
+            .map(|i| (i as f64 * 0.01).sin() + 0.5 * (i as f64 * 0.002).cos())
+            .collect();
+        let block = Fft.compress_to_ratio(&data, 0.2).unwrap();
+        let back = Fft.decompress(&block).unwrap();
+        assert_eq!(back.len(), 777);
+        assert!(rmse(&data, &back) < 0.05, "rmse {}", rmse(&data, &back));
+    }
+
+    #[test]
+    fn sum_preserved_via_f64_dc() {
+        let data: Vec<f64> = (0..1000)
+            .map(|i| (i as f64 * 0.013).sin() * 2.0 + 10.0)
+            .collect();
+        let block = Fft.compress_to_ratio(&data, 0.05).unwrap();
+        let back = Fft.decompress(&block).unwrap();
+        let s1: f64 = data.iter().sum();
+        let s2: f64 = back.iter().sum();
+        assert!((s1 - s2).abs() / s1.abs() < 1e-9, "{s1} vs {s2}");
+    }
+
+    #[test]
+    fn hits_target_ratio() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.1).sin()).collect();
+        for target in [0.5, 0.2, 0.05, 0.01] {
+            let block = Fft.compress_to_ratio(&data, target).unwrap();
+            assert!(
+                block.ratio() <= target + 1e-9,
+                "{} > {target}",
+                block.ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn error_grows_as_bins_drop() {
+        let data: Vec<f64> = (0..512)
+            .map(|i| (i as f64 * 0.05).sin() + 0.3 * (i as f64 * 0.4).sin())
+            .collect();
+        let fine = Fft.compress_to_ratio(&data, 0.3).unwrap();
+        let coarse = Fft.compress_to_ratio(&data, 0.02).unwrap();
+        let e_fine = rmse(&data, &Fft.decompress(&fine).unwrap());
+        let e_coarse = rmse(&data, &Fft.decompress(&coarse).unwrap());
+        assert!(e_fine <= e_coarse + 1e-12);
+    }
+
+    #[test]
+    fn recode_equals_direct_truncation() {
+        let data: Vec<f64> = (0..600).map(|i| (i as f64 * 0.02).sin() * 4.0).collect();
+        let block = Fft.compress_to_ratio(&data, 0.2).unwrap();
+        let recoded = Fft.recode(&block, 0.05).unwrap();
+        let direct = Fft.compress_to_ratio(&data, 0.05).unwrap();
+        assert_eq!(recoded.payload, direct.payload);
+        assert!(recoded.ratio() <= 0.05 + 1e-9);
+    }
+
+    #[test]
+    fn recode_direction_and_floor() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let block = Fft.compress_to_ratio(&data, 0.2).unwrap();
+        assert!(matches!(
+            Fft.recode(&block, 0.9),
+            Err(CodecError::RecodeUnsupported(_))
+        ));
+        assert!(matches!(
+            Fft.recode(&block, 0.0001),
+            Err(CodecError::RatioUnreachable { .. })
+        ));
+    }
+
+    #[test]
+    fn tiny_segments() {
+        let block = Fft.compress_to_ratio(&[3.0, 4.0], 1.0).unwrap();
+        let back = Fft.decompress(&block).unwrap();
+        // Only DC fits: both points become the mean.
+        assert!((back[0] - 3.5).abs() < 1e-9 && (back[1] - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        assert!(Fft.compress_to_ratio(&[1.0, f64::NAN], 0.5).is_err());
+    }
+}

@@ -1,0 +1,378 @@
+//! Canonical Huffman coding with a 15-bit length limit, used by the
+//! DEFLATE-style byte compressor.
+//!
+//! Code lengths are derived from symbol frequencies with a heap-built
+//! Huffman tree, then clamped to `MAX_CODE_LEN` with a Kraft-sum repair
+//! pass, and finally turned into canonical codes (shorter codes first,
+//! ties by symbol index) so only the lengths need to be transmitted.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::error::{CodecError, Result};
+use std::collections::BinaryHeap;
+
+/// DEFLATE's maximum code length.
+pub const MAX_CODE_LEN: u32 = 15;
+
+/// Compute code lengths (0 = unused symbol) for the given frequencies.
+///
+/// Guarantees: every symbol with nonzero frequency gets a length in
+/// `1..=MAX_CODE_LEN`, and the lengths satisfy Kraft equality when two or
+/// more symbols are used. A single used symbol gets length 1.
+pub fn code_lengths(freqs: &[u64]) -> Vec<u32> {
+    let n = freqs.len();
+    let used: Vec<usize> = (0..n).filter(|&i| freqs[i] > 0).collect();
+    let mut lens = vec![0u32; n];
+    match used.len() {
+        0 => return lens,
+        1 => {
+            lens[used[0]] = 1;
+            return lens;
+        }
+        _ => {}
+    }
+
+    // Heap of (Reverse(freq), node index). Internal nodes appended after leaves.
+    #[derive(PartialEq, Eq)]
+    struct Item {
+        freq: u64,
+        node: usize,
+    }
+    impl Ord for Item {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Reverse for a min-heap; tie-break on node index for determinism.
+            other.freq.cmp(&self.freq).then(other.node.cmp(&self.node))
+        }
+    }
+    impl PartialOrd for Item {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut parent: Vec<usize> = vec![usize::MAX; used.len()];
+    let mut heap: BinaryHeap<Item> = used
+        .iter()
+        .enumerate()
+        .map(|(leaf, &sym)| Item {
+            freq: freqs[sym],
+            node: leaf,
+        })
+        .collect();
+    while heap.len() > 1 {
+        let a = heap.pop().expect("len > 1");
+        let b = heap.pop().expect("len > 1");
+        let node = parent.len();
+        parent.push(usize::MAX);
+        parent[a.node] = node;
+        parent[b.node] = node;
+        heap.push(Item {
+            freq: a.freq.saturating_add(b.freq),
+            node,
+        });
+    }
+    let root = heap.pop().expect("one root").node;
+
+    // Depth of each leaf = walk to root.
+    let mut counts = vec![0u64; (MAX_CODE_LEN + 1) as usize];
+    let mut leaf_depths = vec![0u32; used.len()];
+    for (leaf, depth_slot) in leaf_depths.iter_mut().enumerate() {
+        let mut d = 0u32;
+        let mut cur = leaf;
+        while cur != root {
+            cur = parent[cur];
+            d += 1;
+        }
+        let d = d.min(MAX_CODE_LEN);
+        *depth_slot = d;
+        counts[d as usize] += 1;
+    }
+
+    // Kraft repair: clamping may have pushed the sum above 1. While the sum
+    // exceeds capacity, deepen the shallowest over-populated level.
+    let kraft = |counts: &[u64]| -> u64 {
+        // Scaled by 2^MAX_CODE_LEN.
+        counts
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(len, &c)| c << (MAX_CODE_LEN - len as u32))
+            .sum()
+    };
+    let capacity = 1u64 << MAX_CODE_LEN;
+    while kraft(&counts) > capacity {
+        // Find a leaf at the deepest level below MAX and push it deeper...
+        // Standard trick: take one code from the longest non-max level and
+        // give it one extra bit (splitting a max-length pair upward).
+        let mut moved = false;
+        for len in (1..MAX_CODE_LEN).rev() {
+            if counts[len as usize] > 0 {
+                counts[len as usize] -= 1;
+                counts[(len + 1) as usize] += 1;
+                moved = true;
+                break;
+            }
+        }
+        if !moved {
+            break; // All at max length already; cannot happen with n <= 2^15.
+        }
+    }
+    // Re-assign depths canonically: sort leaves by original depth (stable by
+    // frequency) and hand out the repaired level populations.
+    let mut order: Vec<usize> = (0..used.len()).collect();
+    order.sort_by(|&a, &b| {
+        leaf_depths[a]
+            .cmp(&leaf_depths[b])
+            .then(freqs[used[b]].cmp(&freqs[used[a]]))
+            .then(used[a].cmp(&used[b]))
+    });
+    let mut level = 1usize;
+    for leaf in order {
+        while counts[level] == 0 {
+            level += 1;
+        }
+        counts[level] -= 1;
+        lens[used[leaf]] = level as u32;
+    }
+    lens
+}
+
+/// Assign canonical codes to lengths. Returns `codes[i]` valid when
+/// `lens[i] > 0`.
+pub fn canonical_codes(lens: &[u32]) -> Vec<u32> {
+    let mut count = [0u32; (MAX_CODE_LEN + 1) as usize];
+    for &l in lens {
+        if l > 0 {
+            count[l as usize] += 1;
+        }
+    }
+    let mut next = [0u32; (MAX_CODE_LEN + 2) as usize];
+    let mut code = 0u32;
+    for len in 1..=MAX_CODE_LEN as usize {
+        code = (code + count[len - 1]) << 1;
+        next[len] = code;
+    }
+    let mut codes = vec![0u32; lens.len()];
+    for (i, &l) in lens.iter().enumerate() {
+        if l > 0 {
+            codes[i] = next[l as usize];
+            next[l as usize] += 1;
+        }
+    }
+    codes
+}
+
+/// Encoder: symbol → (code, length).
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    codes: Vec<u32>,
+    lens: Vec<u32>,
+}
+
+impl Encoder {
+    /// Build an encoder from symbol frequencies.
+    pub fn from_freqs(freqs: &[u64]) -> Self {
+        let lens = code_lengths(freqs);
+        let codes = canonical_codes(&lens);
+        Self { codes, lens }
+    }
+
+    /// Build from explicit code lengths.
+    pub fn from_lens(lens: Vec<u32>) -> Self {
+        let codes = canonical_codes(&lens);
+        Self { codes, lens }
+    }
+
+    /// The code lengths (what gets transmitted).
+    pub fn lens(&self) -> &[u32] {
+        &self.lens
+    }
+
+    /// Emit the code for `symbol`.
+    #[inline]
+    pub fn write(&self, w: &mut BitWriter, symbol: usize) -> Result<()> {
+        let len = self.lens[symbol];
+        if len == 0 {
+            return Err(CodecError::Corrupt("encoding symbol with no code"));
+        }
+        w.write_bits(self.codes[symbol] as u64, len);
+        Ok(())
+    }
+}
+
+/// Canonical decoder driven by per-length first-code tables.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    /// For each length: (first code, first index into `symbols`).
+    first_code: [u32; (MAX_CODE_LEN + 1) as usize],
+    first_index: [u32; (MAX_CODE_LEN + 1) as usize],
+    count: [u32; (MAX_CODE_LEN + 1) as usize],
+    /// Symbols sorted by (length, symbol).
+    symbols: Vec<u32>,
+}
+
+impl Decoder {
+    /// Build a decoder from code lengths.
+    pub fn from_lens(lens: &[u32]) -> Result<Self> {
+        let mut count = [0u32; (MAX_CODE_LEN + 1) as usize];
+        for &l in lens {
+            if l as usize >= count.len() {
+                return Err(CodecError::Corrupt("code length exceeds limit"));
+            }
+            if l > 0 {
+                count[l as usize] += 1;
+            }
+        }
+        let mut symbols = Vec::with_capacity(lens.len());
+        for len in 1..=MAX_CODE_LEN {
+            for (sym, &l) in lens.iter().enumerate() {
+                if l == len {
+                    symbols.push(sym as u32);
+                }
+            }
+        }
+        let mut first_code = [0u32; (MAX_CODE_LEN + 1) as usize];
+        let mut first_index = [0u32; (MAX_CODE_LEN + 1) as usize];
+        let mut code = 0u32;
+        let mut index = 0u32;
+        for len in 1..=MAX_CODE_LEN as usize {
+            code = (code + count[len - 1]) << 1;
+            first_code[len] = code;
+            first_index[len] = index;
+            index += count[len];
+        }
+        Ok(Self {
+            first_code,
+            first_index,
+            count,
+            symbols,
+        })
+    }
+
+    /// Decode one symbol.
+    #[inline]
+    pub fn read(&self, r: &mut BitReader<'_>) -> Result<u32> {
+        let mut code = 0u32;
+        for len in 1..=MAX_CODE_LEN as usize {
+            code = (code << 1) | (r.read_bit()? as u32);
+            let c = self.count[len];
+            if c > 0 {
+                let first = self.first_code[len];
+                if code < first + c {
+                    if code < first {
+                        return Err(CodecError::Corrupt("invalid huffman code"));
+                    }
+                    let idx = self.first_index[len] + (code - first);
+                    return Ok(self.symbols[idx as usize]);
+                }
+            }
+        }
+        Err(CodecError::Corrupt("huffman code too long"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_symbols(freqs: &[u64], stream: &[usize]) {
+        let enc = Encoder::from_freqs(freqs);
+        let mut w = BitWriter::new();
+        for &s in stream {
+            enc.write(&mut w, s).unwrap();
+        }
+        let bytes = w.finish();
+        let dec = Decoder::from_lens(enc.lens()).unwrap();
+        let mut r = BitReader::new(&bytes);
+        for &s in stream {
+            assert_eq!(dec.read(&mut r).unwrap() as usize, s);
+        }
+    }
+
+    #[test]
+    fn kraft_equality_holds() {
+        let freqs: Vec<u64> = (1..=64).map(|i| i * i).collect();
+        let lens = code_lengths(&freqs);
+        let sum: f64 = lens
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum();
+        assert!((sum - 1.0).abs() < 1e-12, "kraft sum {sum}");
+    }
+
+    #[test]
+    fn frequent_symbols_get_short_codes() {
+        let mut freqs = vec![1u64; 16];
+        freqs[3] = 10_000;
+        let lens = code_lengths(&freqs);
+        assert!(lens[3] < lens[0]);
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        let mut freqs = vec![0u64; 10];
+        freqs[7] = 42;
+        let lens = code_lengths(&freqs);
+        assert_eq!(lens[7], 1);
+        roundtrip_symbols(&freqs, &[7, 7, 7]);
+    }
+
+    #[test]
+    fn two_symbols() {
+        let freqs = vec![5, 0, 3];
+        roundtrip_symbols(&freqs, &[0, 2, 0, 0, 2]);
+    }
+
+    #[test]
+    fn full_byte_alphabet_roundtrip() {
+        let mut freqs = vec![0u64; 286];
+        let stream: Vec<usize> = (0..2000).map(|i| (i * 7 + i * i) % 286).collect();
+        for &s in &stream {
+            freqs[s] += 1;
+        }
+        roundtrip_symbols(&freqs, &stream);
+    }
+
+    #[test]
+    fn skewed_distribution_respects_length_limit() {
+        // Fibonacci-like frequencies produce degenerate depths without the
+        // length limit; assert we clamp to 15 and still decode.
+        let mut freqs = vec![0u64; 40];
+        let mut a = 1u64;
+        let mut b = 1u64;
+        for f in freqs.iter_mut() {
+            *f = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        let lens = code_lengths(&freqs);
+        assert!(lens.iter().all(|&l| l <= MAX_CODE_LEN));
+        let stream: Vec<usize> = (0..40).collect();
+        roundtrip_symbols(&freqs, &stream);
+    }
+
+    #[test]
+    fn decoder_rejects_garbage() {
+        let freqs = vec![10, 10, 1];
+        let enc = Encoder::from_freqs(&freqs);
+        let dec = Decoder::from_lens(enc.lens()).unwrap();
+        // All-ones stream eventually hits an invalid code or runs out.
+        let bytes = vec![0xFFu8; 1];
+        let mut r = BitReader::new(&bytes);
+        let mut failed = false;
+        for _ in 0..10 {
+            if dec.read(&mut r).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed);
+    }
+
+    #[test]
+    fn empty_freqs_yield_empty_code() {
+        let lens = code_lengths(&[0, 0, 0]);
+        assert!(lens.iter().all(|&l| l == 0));
+    }
+}

@@ -1,0 +1,344 @@
+//! LZ77 matching engine shared by the byte-oriented codecs.
+//!
+//! A classic hash-chain matcher over a 32 KiB window, with a tunable chain
+//! search depth and optional lazy matching. Effort levels map to the
+//! gzip/zlib speed-vs-ratio spectrum the paper's Figure 2/3 relies on:
+//! greedy depth-1 search is the "snappy" fast path; deep chains with lazy
+//! evaluation form the "gzip" slow path.
+
+/// Minimum match length worth encoding.
+pub const MIN_MATCH: usize = 3;
+/// Maximum match length (the DEFLATE limit).
+pub const MAX_MATCH: usize = 258;
+/// Sliding-window size; matches may reference at most this far back.
+pub const WINDOW: usize = 32 * 1024;
+
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+
+/// One LZ77 token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// A single literal byte.
+    Literal(u8),
+    /// A back-reference: copy `len` bytes from `dist` bytes back.
+    Match {
+        /// Match length (3..=258).
+        len: u16,
+        /// Backward distance (1..=32768).
+        dist: u16,
+    },
+}
+
+/// Matcher tuning. Higher `max_chain` finds better matches but costs time.
+#[derive(Debug, Clone, Copy)]
+pub struct LzConfig {
+    /// How many chain entries to examine per position.
+    pub max_chain: usize,
+    /// Defer emitting a match if the next position has a longer one.
+    pub lazy: bool,
+}
+
+impl LzConfig {
+    /// Fast greedy configuration (snappy-class).
+    pub fn fast() -> Self {
+        Self {
+            max_chain: 1,
+            lazy: false,
+        }
+    }
+
+    /// Effort level 1..=10 mapped onto chain depth and laziness,
+    /// mirroring zlib's level ladder.
+    pub fn level(level: u8) -> Self {
+        match level {
+            0 | 1 => Self {
+                max_chain: 4,
+                lazy: false,
+            },
+            2 => Self {
+                max_chain: 8,
+                lazy: false,
+            },
+            3 => Self {
+                max_chain: 16,
+                lazy: false,
+            },
+            4 | 5 => Self {
+                max_chain: 16,
+                lazy: true,
+            },
+            6 => Self {
+                max_chain: 32,
+                lazy: true,
+            },
+            7 => Self {
+                max_chain: 64,
+                lazy: true,
+            },
+            8 => Self {
+                max_chain: 128,
+                lazy: true,
+            },
+            9 => Self {
+                max_chain: 256,
+                lazy: true,
+            },
+            _ => Self {
+                max_chain: 1024,
+                lazy: true,
+            },
+        }
+    }
+}
+
+#[inline]
+fn hash3(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], 0]);
+    ((v.wrapping_mul(0x9E37_79B1)) >> (32 - HASH_BITS)) as usize
+}
+
+#[inline]
+fn match_len(data: &[u8], a: usize, b: usize, max: usize) -> usize {
+    let mut len = 0;
+    while len < max && data[a + len] == data[b + len] {
+        len += 1;
+    }
+    len
+}
+
+struct Matcher<'a> {
+    data: &'a [u8],
+    head: Vec<i32>,
+    prev: Vec<i32>,
+    max_chain: usize,
+}
+
+impl<'a> Matcher<'a> {
+    fn new(data: &'a [u8], max_chain: usize) -> Self {
+        Self {
+            data,
+            head: vec![-1; HASH_SIZE],
+            prev: vec![-1; data.len()],
+            max_chain,
+        }
+    }
+
+    /// Insert position `i` into the hash chains.
+    #[inline]
+    fn insert(&mut self, i: usize) {
+        if i + MIN_MATCH <= self.data.len() {
+            let h = hash3(self.data, i);
+            self.prev[i] = self.head[h];
+            self.head[h] = i as i32;
+        }
+    }
+
+    /// Find the best match starting at `i`, or `None`.
+    fn best_match(&self, i: usize) -> Option<(usize, usize)> {
+        if i + MIN_MATCH > self.data.len() {
+            return None;
+        }
+        let max = (self.data.len() - i).min(MAX_MATCH);
+        let h = hash3(self.data, i);
+        let mut cand = self.head[h];
+        let mut best_len = MIN_MATCH - 1;
+        let mut best_dist = 0usize;
+        let mut chain = self.max_chain;
+        let min_pos = i.saturating_sub(WINDOW);
+        while cand >= 0 && chain > 0 {
+            let c = cand as usize;
+            if c < min_pos {
+                break;
+            }
+            let len = match_len(self.data, c, i, max);
+            if len > best_len {
+                best_len = len;
+                best_dist = i - c;
+                if len == max {
+                    break;
+                }
+            }
+            cand = self.prev[c];
+            chain -= 1;
+        }
+        if best_len >= MIN_MATCH {
+            Some((best_len, best_dist))
+        } else {
+            None
+        }
+    }
+}
+
+/// Tokenize `data` with the given configuration.
+pub fn lz77_tokens(data: &[u8], config: LzConfig) -> Vec<Token> {
+    let mut tokens = Vec::with_capacity(data.len() / 2 + 8);
+    if data.is_empty() {
+        return tokens;
+    }
+    let mut m = Matcher::new(data, config.max_chain);
+    let mut i = 0usize;
+    while i < data.len() {
+        let found = m.best_match(i);
+        match found {
+            Some((mut len, mut dist)) => {
+                if config.lazy && i + 1 < data.len() {
+                    // Peek one position ahead; emit a literal if it starts a
+                    // strictly better match (classic lazy matching).
+                    m.insert(i);
+                    if let Some((len2, dist2)) = m.best_match(i + 1) {
+                        if len2 > len {
+                            tokens.push(Token::Literal(data[i]));
+                            i += 1;
+                            len = len2;
+                            dist = dist2;
+                        }
+                    }
+                    tokens.push(Token::Match {
+                        len: len as u16,
+                        dist: dist as u16,
+                    });
+                    // First position already inserted above.
+                    for k in i + 1..i + len {
+                        m.insert(k);
+                    }
+                    i += len;
+                } else {
+                    tokens.push(Token::Match {
+                        len: len as u16,
+                        dist: dist as u16,
+                    });
+                    for k in i..i + len {
+                        m.insert(k);
+                    }
+                    i += len;
+                }
+            }
+            None => {
+                tokens.push(Token::Literal(data[i]));
+                m.insert(i);
+                i += 1;
+            }
+        }
+    }
+    tokens
+}
+
+/// Expand tokens back into bytes. `expected_len` pre-sizes the output.
+pub fn lz77_expand(tokens: &[Token], expected_len: usize) -> Result<Vec<u8>, &'static str> {
+    let mut out: Vec<u8> = Vec::with_capacity(expected_len);
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                let dist = dist as usize;
+                let len = len as usize;
+                if dist == 0 || dist > out.len() {
+                    return Err("match distance out of range");
+                }
+                let start = out.len() - dist;
+                // Overlapping copies are legal (dist < len): copy byte-wise.
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8], config: LzConfig) {
+        let tokens = lz77_tokens(data, config);
+        let back = lz77_expand(&tokens, data.len()).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        roundtrip(b"", LzConfig::fast());
+        roundtrip(b"a", LzConfig::fast());
+        roundtrip(b"ab", LzConfig::level(9));
+    }
+
+    #[test]
+    fn repetitive_input_produces_matches() {
+        let data = b"abcabcabcabcabcabcabcabc".to_vec();
+        let tokens = lz77_tokens(&data, LzConfig::level(6));
+        assert!(tokens.iter().any(|t| matches!(t, Token::Match { .. })));
+        roundtrip(&data, LzConfig::level(6));
+    }
+
+    #[test]
+    fn overlapping_match_roundtrip() {
+        // Run of a single byte forces dist=1, len>1 overlapping copies.
+        let data = vec![7u8; 1000];
+        let tokens = lz77_tokens(&data, LzConfig::level(6));
+        assert!(
+            tokens.len() < 20,
+            "run should collapse, got {}",
+            tokens.len()
+        );
+        roundtrip(&data, LzConfig::level(6));
+    }
+
+    #[test]
+    fn all_configs_roundtrip_mixed_data() {
+        let mut data = Vec::new();
+        for i in 0..5000u32 {
+            data.extend_from_slice(&(i % 97).to_le_bytes());
+        }
+        for cfg in [
+            LzConfig::fast(),
+            LzConfig::level(1),
+            LzConfig::level(6),
+            LzConfig::level(9),
+            LzConfig::level(10),
+        ] {
+            roundtrip(&data, cfg);
+        }
+    }
+
+    #[test]
+    fn deeper_chains_compress_no_worse() {
+        let mut data = Vec::new();
+        let mut x = 12345u64;
+        for _ in 0..4000 {
+            x = x.wrapping_mul(48271) % 0x7FFF_FFFF;
+            data.push((x % 7) as u8); // low-entropy stream
+        }
+        // Lazy matching is a heuristic: allow a little slack, but deep
+        // search should never be drastically worse than greedy.
+        let shallow = lz77_tokens(&data, LzConfig::level(1)).len();
+        let deep = lz77_tokens(&data, LzConfig::level(9)).len();
+        assert!(
+            deep as f64 <= shallow as f64 * 1.10,
+            "deep {deep} vs shallow {shallow}"
+        );
+    }
+
+    #[test]
+    fn expand_rejects_bad_distance() {
+        let tokens = vec![Token::Match { len: 5, dist: 3 }];
+        assert!(lz77_expand(&tokens, 5).is_err());
+    }
+
+    #[test]
+    fn random_bytes_roundtrip() {
+        let mut x = 0xDEADBEEFu64;
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x & 0xFF) as u8
+            })
+            .collect();
+        roundtrip(&data, LzConfig::level(6));
+        roundtrip(&data, LzConfig::fast());
+    }
+}

@@ -1,0 +1,61 @@
+//! The identity "codec": raw little-endian doubles. Used as the control arm
+//! and as the representation of not-yet-compressed segments on disk.
+
+use crate::block::{CodecId, CompressedBlock};
+use crate::error::{CodecError, Result};
+use crate::traits::{Codec, CodecKind};
+use crate::util::{bytes_to_f64s, f64s_to_bytes};
+
+/// Raw pass-through codec.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Raw;
+
+impl Codec for Raw {
+    fn id(&self) -> CodecId {
+        CodecId::Raw
+    }
+
+    fn kind(&self) -> CodecKind {
+        CodecKind::Lossless
+    }
+
+    fn compress(&self, data: &[f64]) -> Result<CompressedBlock> {
+        if data.is_empty() {
+            return Err(CodecError::EmptyInput);
+        }
+        Ok(CompressedBlock::new(
+            self.id(),
+            data.len(),
+            f64s_to_bytes(data),
+        ))
+    }
+
+    fn decompress(&self, block: &CompressedBlock) -> Result<Vec<f64>> {
+        self.check_block(block)?;
+        let out = bytes_to_f64s(&block.payload)?;
+        if out.len() != block.n_points as usize {
+            return Err(CodecError::Corrupt("raw length mismatch"));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_roundtrip() {
+        let data = vec![1.0, -2.0, 3.5];
+        let block = Raw.compress(&data).unwrap();
+        assert_eq!(block.ratio(), 1.0);
+        assert_eq!(Raw.decompress(&block).unwrap(), data);
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let mut block = Raw.compress(&[1.0, 2.0]).unwrap();
+        block.n_points = 3;
+        assert!(Raw.decompress(&block).is_err());
+    }
+}

@@ -1,0 +1,187 @@
+//! Snappy-class byte compression: greedy LZ77 with byte-oriented output and
+//! no entropy coding. Optimized for speed over ratio, exactly the role the
+//! snappy arm plays in the paper's throughput experiments (Figure 2).
+//!
+//! Wire format (per token):
+//! * control byte `c < 128` — a literal run of `c + 1` bytes follows.
+//! * control byte `c >= 128` — a match of length `c - 128 + MIN_MATCH`
+//!   (3..=130), followed by a little-endian `u16` distance.
+
+use crate::block::{CodecId, CompressedBlock};
+use crate::error::{CodecError, Result};
+use crate::lz::{lz77_tokens, LzConfig, Token, MIN_MATCH};
+use crate::traits::{Codec, CodecKind};
+use crate::util::{bytes_to_f64s, f64s_to_bytes};
+
+const MAX_LITERAL_RUN: usize = 128;
+const MAX_COPY_LEN: usize = 127 + MIN_MATCH; // 130
+
+/// Compress raw bytes with the snappy-class format.
+pub fn snappy_compress_bytes(data: &[u8]) -> Vec<u8> {
+    let tokens = lz77_tokens(data, LzConfig::fast());
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    let mut lit_run: Vec<u8> = Vec::with_capacity(MAX_LITERAL_RUN);
+    let flush_lits = |out: &mut Vec<u8>, lit_run: &mut Vec<u8>| {
+        for chunk in lit_run.chunks(MAX_LITERAL_RUN) {
+            out.push((chunk.len() - 1) as u8);
+            out.extend_from_slice(chunk);
+        }
+        lit_run.clear();
+    };
+    for t in &tokens {
+        match *t {
+            Token::Literal(b) => lit_run.push(b),
+            Token::Match { len, dist } => {
+                flush_lits(&mut out, &mut lit_run);
+                // Split long matches into <=130-byte chunks.
+                let mut remaining = len as usize;
+                while remaining > 0 {
+                    let take = remaining.min(MAX_COPY_LEN);
+                    // A trailing stub shorter than MIN_MATCH cannot be encoded
+                    // as a copy; emitting it as part of the previous chunk is
+                    // guaranteed possible because MAX_COPY_LEN > 2*MIN_MATCH.
+                    let take = if remaining - take > 0 && remaining - take < MIN_MATCH {
+                        take - (MIN_MATCH - (remaining - take))
+                    } else {
+                        take
+                    };
+                    out.push(128 + (take - MIN_MATCH) as u8);
+                    out.extend_from_slice(&dist.to_le_bytes());
+                    remaining -= take;
+                }
+            }
+        }
+    }
+    flush_lits(&mut out, &mut lit_run);
+    out
+}
+
+/// Decompress the snappy-class format, expecting `expected_len` bytes.
+pub fn snappy_decompress_bytes(payload: &[u8], expected_len: usize) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(expected_len);
+    let mut i = 0usize;
+    while i < payload.len() {
+        let c = payload[i];
+        i += 1;
+        if c < 128 {
+            let run = c as usize + 1;
+            if i + run > payload.len() {
+                return Err(CodecError::Corrupt("literal run past end"));
+            }
+            out.extend_from_slice(&payload[i..i + run]);
+            i += run;
+        } else {
+            let len = (c - 128) as usize + MIN_MATCH;
+            if i + 2 > payload.len() {
+                return Err(CodecError::Corrupt("truncated copy distance"));
+            }
+            let dist = u16::from_le_bytes([payload[i], payload[i + 1]]) as usize;
+            i += 2;
+            if dist == 0 || dist > out.len() {
+                return Err(CodecError::Corrupt("copy distance out of range"));
+            }
+            let start = out.len() - dist;
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        }
+    }
+    if out.len() != expected_len {
+        return Err(CodecError::Corrupt("snappy length mismatch"));
+    }
+    Ok(out)
+}
+
+/// Snappy-class codec over doubles.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Snappy;
+
+impl Codec for Snappy {
+    fn id(&self) -> CodecId {
+        CodecId::Snappy
+    }
+
+    fn kind(&self) -> CodecKind {
+        CodecKind::Lossless
+    }
+
+    fn compress(&self, data: &[f64]) -> Result<CompressedBlock> {
+        if data.is_empty() {
+            return Err(CodecError::EmptyInput);
+        }
+        let bytes = f64s_to_bytes(data);
+        Ok(CompressedBlock::new(
+            self.id(),
+            data.len(),
+            snappy_compress_bytes(&bytes),
+        ))
+    }
+
+    fn decompress(&self, block: &CompressedBlock) -> Result<Vec<f64>> {
+        self.check_block(block)?;
+        let bytes = snappy_decompress_bytes(&block.payload, block.n_points as usize * 8)?;
+        bytes_to_f64s(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_bytes(data: &[u8]) {
+        let c = snappy_compress_bytes(data);
+        assert_eq!(snappy_decompress_bytes(&c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_and_small() {
+        roundtrip_bytes(b"");
+        roundtrip_bytes(b"x");
+        roundtrip_bytes(b"ab");
+    }
+
+    #[test]
+    fn repetitive_compresses() {
+        let data = b"hellohellohellohellohellohello".repeat(50);
+        let c = snappy_compress_bytes(&data);
+        assert!(c.len() < data.len() / 3);
+        roundtrip_bytes(&data);
+    }
+
+    #[test]
+    fn long_run_splits_correctly() {
+        // Forces match splitting across the 130-byte copy limit, including
+        // remainders near MIN_MATCH.
+        for n in [131, 132, 133, 260, 261, 1000, 1003] {
+            roundtrip_bytes(&vec![9u8; n]);
+        }
+    }
+
+    #[test]
+    fn long_literal_run_splits() {
+        let data: Vec<u8> = (0..1000u32)
+            .map(|i| (i.wrapping_mul(2654435761)) as u8)
+            .collect();
+        roundtrip_bytes(&data);
+    }
+
+    #[test]
+    fn float_codec_roundtrip() {
+        let data: Vec<f64> = (0..800).map(|i| ((i / 8) as f64) * 1.25).collect();
+        let block = Snappy.compress(&data).unwrap();
+        assert_eq!(Snappy.decompress(&block).unwrap(), data);
+    }
+
+    #[test]
+    fn corrupt_distance_detected() {
+        let payload = vec![128 + 10, 0xFF, 0x7F]; // copy before any output
+        assert!(snappy_decompress_bytes(&payload, 13).is_err());
+    }
+
+    #[test]
+    fn truncated_literal_detected() {
+        let payload = vec![50u8, 1, 2, 3]; // claims 51 literals, has 3
+        assert!(snappy_decompress_bytes(&payload, 51).is_err());
+    }
+}

@@ -1,0 +1,194 @@
+//! Sprintz-style compression (Blalock et al., IMWUT 2018) for quantized
+//! time series: delta prediction + zigzag + per-block bit-packing.
+//!
+//! The codec quantizes doubles to fixed-point integers at the dataset's
+//! declared decimal precision (the paper tailors precision per dataset:
+//! 4 digits for CBF, 5 for UCR, 6 for UCI), then encodes the first value
+//! raw and the rest as zigzagged deltas packed in blocks of 128 with an
+//! 8-bit width header each. Decompression restores the quantized values
+//! exactly, which is the paper's definition of lossless for these codecs.
+
+use crate::bitio::{bits_needed, zigzag_decode, zigzag_encode, BitReader, BitWriter};
+use crate::block::{CodecId, CompressedBlock};
+use crate::error::{CodecError, Result};
+use crate::traits::{Codec, CodecKind};
+use crate::util::{dequantize, quantize};
+
+/// Deltas per bit-packed block.
+const BLOCK: usize = 128;
+
+/// Sprintz codec at a fixed decimal precision.
+#[derive(Debug, Clone, Copy)]
+pub struct Sprintz {
+    precision: u8,
+}
+
+impl Sprintz {
+    /// Create a Sprintz codec for data with `precision` significant decimal
+    /// digits after the point (must be ≤ 12).
+    pub fn new(precision: u8) -> Self {
+        Self { precision }
+    }
+
+    /// The precision this codec quantizes to.
+    pub fn precision(&self) -> u8 {
+        self.precision
+    }
+}
+
+impl Codec for Sprintz {
+    fn id(&self) -> CodecId {
+        CodecId::Sprintz
+    }
+
+    fn kind(&self) -> CodecKind {
+        CodecKind::Lossless
+    }
+
+    fn compress(&self, data: &[f64]) -> Result<CompressedBlock> {
+        if data.is_empty() {
+            return Err(CodecError::EmptyInput);
+        }
+        let q = quantize(data, self.precision)?;
+        let mut w = BitWriter::with_capacity(data.len() * 2);
+        // Header: precision byte, then the first value raw.
+        w.write_bits(self.precision as u64, 8);
+        w.write_bits(q[0] as u64, 64);
+        let mut prev = q[0];
+        let deltas: Vec<u64> = q[1..]
+            .iter()
+            .map(|&v| {
+                let d = v.wrapping_sub(prev);
+                prev = v;
+                zigzag_encode(d)
+            })
+            .collect();
+        for chunk in deltas.chunks(BLOCK) {
+            let width = chunk.iter().map(|&d| bits_needed(d)).max().unwrap_or(0);
+            w.write_bits(width as u64, 8);
+            for &d in chunk {
+                w.write_bits(d, width);
+            }
+        }
+        Ok(CompressedBlock::new(self.id(), data.len(), w.finish()))
+    }
+
+    fn decompress(&self, block: &CompressedBlock) -> Result<Vec<f64>> {
+        self.check_block(block)?;
+        let n = block.n_points as usize;
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let mut r = BitReader::new(&block.payload);
+        let precision = r.read_bits(8)? as u8;
+        let first = r.read_bits(64)? as i64;
+        let mut q = Vec::with_capacity(n);
+        q.push(first);
+        let mut remaining = n - 1;
+        let mut prev = first;
+        while remaining > 0 {
+            let width = r.read_bits(8)? as u32;
+            if width > 64 {
+                return Err(CodecError::Corrupt("sprintz width > 64"));
+            }
+            let take = remaining.min(BLOCK);
+            for _ in 0..take {
+                let d = zigzag_decode(r.read_bits(width)?);
+                prev = prev.wrapping_add(d);
+                q.push(prev);
+            }
+            remaining -= take;
+        }
+        dequantize(&q, precision)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::round_to_precision;
+
+    fn roundtrip(data: &[f64], precision: u8) {
+        let s = Sprintz::new(precision);
+        let block = s.compress(data).unwrap();
+        let back = s.decompress(&block).unwrap();
+        assert_eq!(back.len(), data.len());
+        for (a, b) in data.iter().zip(&back) {
+            let expected = round_to_precision(*a, precision);
+            assert!(
+                (expected - b).abs() < 1e-9,
+                "expected {expected}, got {b} (orig {a})"
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_smooth() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.013).sin() * 3.0).collect();
+        roundtrip(&data, 4);
+    }
+
+    #[test]
+    fn roundtrip_various_precisions() {
+        let data: Vec<f64> = (0..300).map(|i| i as f64 * 0.111 - 15.0).collect();
+        for p in [0, 2, 4, 5, 6] {
+            roundtrip(&data, p);
+        }
+    }
+
+    #[test]
+    fn roundtrip_single_and_pair() {
+        roundtrip(&[42.4242], 4);
+        roundtrip(&[1.0, -1.0], 4);
+    }
+
+    #[test]
+    fn roundtrip_exact_block_boundaries() {
+        // n-1 deltas exactly at 128 and around it.
+        for n in [128, 129, 130, 256, 257] {
+            let data: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+            roundtrip(&data, 5);
+        }
+    }
+
+    #[test]
+    fn constant_series_compresses_hard() {
+        let data = vec![41.25; 1024];
+        let block = Sprintz::new(4).compress(&data).unwrap();
+        // First value + per-block zero widths only: tiny.
+        assert!(block.ratio() < 0.01, "ratio {}", block.ratio());
+    }
+
+    #[test]
+    fn smooth_series_beats_raw() {
+        let data: Vec<f64> = (0..2048).map(|i| (i as f64 * 0.002).sin()).collect();
+        let block = Sprintz::new(4).compress(&data).unwrap();
+        assert!(block.ratio() < 0.30, "ratio {}", block.ratio());
+    }
+
+    #[test]
+    fn rejects_nan_and_huge() {
+        assert!(Sprintz::new(4).compress(&[f64::NAN]).is_err());
+        assert!(Sprintz::new(6).compress(&[1e18]).is_err());
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(Sprintz::new(4).compress(&[]), Err(CodecError::EmptyInput));
+    }
+
+    #[test]
+    fn negative_jumps_roundtrip() {
+        let data = vec![1000.0, -1000.0, 999.9999, -999.9999, 0.0001, -0.0001];
+        roundtrip(&data, 4);
+    }
+
+    #[test]
+    fn truncated_payload_detected() {
+        let data: Vec<f64> = (0..200).map(|i| i as f64 * 1.5).collect();
+        let block = Sprintz::new(4).compress(&data).unwrap();
+        let mut bad = block.clone();
+        bad.payload.truncate(10);
+        assert!(Sprintz::new(4).decompress(&bad).is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! Small shared helpers: float/byte conversion and fixed-point quantization.
+
+use crate::error::{CodecError, Result};
+
+/// Serialize a segment of doubles to little-endian bytes.
+pub fn f64s_to_bytes(data: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * 8);
+    for v in data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Deserialize little-endian bytes back to doubles.
+pub fn bytes_to_f64s(bytes: &[u8]) -> Result<Vec<f64>> {
+    if !bytes.len().is_multiple_of(8) {
+        return Err(CodecError::Corrupt("byte length not a multiple of 8"));
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .collect())
+}
+
+/// Powers of ten for decimal precision 0..=12.
+const POW10: [f64; 13] = [
+    1.0,
+    10.0,
+    100.0,
+    1_000.0,
+    10_000.0,
+    100_000.0,
+    1_000_000.0,
+    10_000_000.0,
+    100_000_000.0,
+    1_000_000_000.0,
+    10_000_000_000.0,
+    100_000_000_000.0,
+    1_000_000_000_000.0,
+];
+
+/// Scale factor for `precision` decimal digits.
+pub fn pow10(precision: u8) -> Result<f64> {
+    POW10
+        .get(precision as usize)
+        .copied()
+        .ok_or(CodecError::InvalidParameter("precision must be <= 12"))
+}
+
+/// Quantize a segment of doubles to fixed-point integers at `precision`
+/// decimal digits: `q = round(v * 10^p)`.
+///
+/// Rejects non-finite values and magnitudes that would overflow the 52-bit
+/// safe range (the paper's datasets use 4-6 digits on small-magnitude
+/// signals, far inside this range).
+pub fn quantize(data: &[f64], precision: u8) -> Result<Vec<i64>> {
+    let scale = pow10(precision)?;
+    let mut out = Vec::with_capacity(data.len());
+    for &v in data {
+        if !v.is_finite() {
+            return Err(CodecError::UnsupportedValue("non-finite float"));
+        }
+        let scaled = v * scale;
+        if scaled.abs() >= 4.5e15 {
+            return Err(CodecError::UnsupportedValue(
+                "magnitude overflows fixed-point range at this precision",
+            ));
+        }
+        out.push(scaled.round() as i64);
+    }
+    Ok(out)
+}
+
+/// Inverse of [`quantize`].
+pub fn dequantize(q: &[i64], precision: u8) -> Result<Vec<f64>> {
+    let scale = pow10(precision)?;
+    Ok(q.iter().map(|&x| x as f64 / scale).collect())
+}
+
+/// Round a float to `precision` decimal digits (the value a quantizing codec
+/// will reproduce).
+pub fn round_to_precision(v: f64, precision: u8) -> f64 {
+    let scale = POW10[precision as usize];
+    (v * scale).round() / scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_roundtrip() {
+        let data = vec![0.0, -1.5, std::f64::consts::PI, f64::MAX, f64::MIN_POSITIVE];
+        let bytes = f64s_to_bytes(&data);
+        assert_eq!(bytes.len(), data.len() * 8);
+        assert_eq!(bytes_to_f64s(&bytes).unwrap(), data);
+    }
+
+    #[test]
+    fn bad_byte_length_rejected() {
+        assert!(bytes_to_f64s(&[0u8; 7]).is_err());
+    }
+
+    #[test]
+    fn quantize_roundtrip_at_precision() {
+        let data = vec![1.2345, -0.0021, 99.9999, 0.0];
+        let q = quantize(&data, 4).unwrap();
+        assert_eq!(q, vec![12345, -21, 999_999, 0]);
+        let back = dequantize(&q, 4).unwrap();
+        for (a, b) in data.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn quantize_rejects_nan_and_overflow() {
+        assert!(quantize(&[f64::NAN], 4).is_err());
+        assert!(quantize(&[f64::INFINITY], 2).is_err());
+        assert!(quantize(&[1e20], 6).is_err());
+    }
+
+    #[test]
+    fn precision_limits() {
+        assert!(pow10(12).is_ok());
+        assert!(pow10(13).is_err());
+    }
+
+    #[test]
+    fn rounding_matches_quantization() {
+        let v = 1.23456789;
+        assert_eq!(round_to_precision(v, 4), 1.2346);
+        assert_eq!(round_to_precision(v, 0), 1.0);
+    }
+}

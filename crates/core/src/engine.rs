@@ -1,0 +1,438 @@
+//! The multithreaded ingest → compress pipeline (§IV-C workflow, §V
+//! scalability experiment).
+//!
+//! An ingestion stage pushes fixed-size raw segments into a bounded
+//! uncompressed buffer (a crossbeam channel); `n_compression_threads`
+//! workers pop segments, consult the shared MAB selector, compress outside
+//! the selector lock, and report the reward back. A full buffer counts as
+//! a spill-to-disk event (the paper flushes to disk when the uncompressed
+//! buffer overflows).
+
+use crate::selector::{LosslessSelector, SelectorConfig};
+use adaedge_codecs::{CodecId, CodecRegistry};
+use adaedge_datasets::SegmentSource;
+use crossbeam::channel;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of compression worker threads (the paper scales 1 → 8).
+    pub n_compression_threads: usize,
+    /// Uncompressed-buffer capacity in segments; ingestion that finds the
+    /// buffer full counts a spill.
+    pub buffer_segments: usize,
+    /// Lossless candidate arms for the shared selector.
+    pub lossless_arms: Vec<CodecId>,
+    /// MAB hyper-parameters.
+    pub selector: SelectorConfig,
+    /// Dataset decimal precision.
+    pub precision: u8,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            n_compression_threads: 1,
+            buffer_segments: 64,
+            lossless_arms: CodecRegistry::lossless_candidates(),
+            selector: SelectorConfig::default(),
+            precision: 4,
+        }
+    }
+}
+
+/// Aggregate pipeline results.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Segments compressed.
+    pub segments: u64,
+    /// Data points processed.
+    pub points: u64,
+    /// Raw bytes in.
+    pub bytes_in: u64,
+    /// Compressed bytes out.
+    pub bytes_out: u64,
+    /// Wall-clock runtime.
+    pub elapsed_seconds: f64,
+    /// Achieved throughput in points per second.
+    pub points_per_sec: f64,
+    /// Times the ingestion stage found the buffer full.
+    pub spills: u64,
+    /// How often each codec was selected.
+    pub codec_counts: HashMap<CodecId, u64>,
+}
+
+/// Run `n_segments` from `source` through the pipeline and report
+/// aggregate throughput.
+pub fn run_pipeline(
+    source: &mut dyn SegmentSource,
+    n_segments: usize,
+    config: &EngineConfig,
+) -> EngineReport {
+    let reg = CodecRegistry::new(config.precision);
+    let selector = Mutex::new(LosslessSelector::new(
+        config.lossless_arms.clone(),
+        config.selector,
+    ));
+    let (tx, rx) = channel::bounded::<Vec<f64>>(config.buffer_segments.max(1));
+    let bytes_out = AtomicU64::new(0);
+    let spills = AtomicU64::new(0);
+    let segment_points = source.segment_len() as u64;
+
+    let start = Instant::now();
+    let mut codec_counts: HashMap<CodecId, u64> = HashMap::new();
+    std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for _ in 0..config.n_compression_threads.max(1) {
+            let rx = rx.clone();
+            let reg = &reg;
+            let selector = &selector;
+            let bytes_out = &bytes_out;
+            workers.push(scope.spawn(move || {
+                let mut local_counts: HashMap<CodecId, u64> = HashMap::new();
+                while let Ok(data) = rx.recv() {
+                    // Select under the lock, compress outside it, report back.
+                    let (arm, codec) = selector.lock().select_arm();
+                    if let Ok(block) = reg.get(codec).compress(&data) {
+                        bytes_out.fetch_add(block.compressed_bytes() as u64, Ordering::Relaxed);
+                        selector.lock().report_block(arm, &block);
+                        *local_counts.entry(codec).or_insert(0) += 1;
+                    }
+                }
+                local_counts
+            }));
+        }
+        drop(rx);
+
+        // Ingestion stage (this thread).
+        for _ in 0..n_segments {
+            let seg = source.next_segment();
+            if tx.is_full() {
+                spills.fetch_add(1, Ordering::Relaxed);
+            }
+            if tx.send(seg).is_err() {
+                break;
+            }
+        }
+        drop(tx);
+
+        for w in workers {
+            let local = w.join().expect("worker panicked");
+            for (codec, count) in local {
+                *codec_counts.entry(codec).or_insert(0) += count;
+            }
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let points = n_segments as u64 * segment_points;
+    EngineReport {
+        segments: n_segments as u64,
+        points,
+        bytes_in: points * 8,
+        bytes_out: bytes_out.load(Ordering::Relaxed),
+        elapsed_seconds: elapsed,
+        points_per_sec: points as f64 / elapsed.max(1e-9),
+        spills: spills.load(Ordering::Relaxed),
+        codec_counts,
+    }
+}
+
+/// Offline-mode engine configuration: the paper's 4-thread layout
+/// (ingestion, compression, recoding, evaluation; reward evaluation runs
+/// inside the recoding step here).
+#[derive(Debug, Clone)]
+pub struct OfflineEngineConfig {
+    /// Compression worker threads.
+    pub n_compression_threads: usize,
+    /// Uncompressed-buffer capacity in segments.
+    pub buffer_segments: usize,
+    /// Hard storage budget in bytes.
+    pub storage_budget_bytes: usize,
+    /// Recoding trigger fraction (paper: 0.8).
+    pub recode_threshold: f64,
+    /// Lossless candidate arms.
+    pub lossless_arms: Vec<CodecId>,
+    /// Lossy candidate arms.
+    pub lossy_arms: Vec<CodecId>,
+    /// MAB hyper-parameters.
+    pub selector: SelectorConfig,
+    /// Workload target for the recoding MABs.
+    pub target: crate::targets::OptimizationTarget,
+    /// Dataset decimal precision.
+    pub precision: u8,
+}
+
+impl OfflineEngineConfig {
+    /// Defaults for a given budget and target.
+    pub fn new(storage_budget_bytes: usize, target: crate::targets::OptimizationTarget) -> Self {
+        Self {
+            n_compression_threads: 1,
+            buffer_segments: 64,
+            storage_budget_bytes,
+            recode_threshold: 0.8,
+            lossless_arms: CodecRegistry::lossless_candidates(),
+            lossy_arms: CodecRegistry::lossy_candidates(),
+            selector: SelectorConfig::offline(),
+            target,
+            precision: 4,
+        }
+    }
+}
+
+/// Results of an offline engine run.
+#[derive(Debug, Clone)]
+pub struct OfflineEngineReport {
+    /// Segments stored.
+    pub segments: u64,
+    /// Data points ingested.
+    pub points: u64,
+    /// Final stored bytes.
+    pub stored_bytes: usize,
+    /// Final utilization of the budget.
+    pub utilization: f64,
+    /// Total recoding passes performed by the recoding thread.
+    pub recodes: u64,
+    /// Segments dropped because the budget could not be met in time.
+    pub drops: u64,
+    /// Wall-clock runtime.
+    pub elapsed_seconds: f64,
+    /// Achieved throughput in points/s.
+    pub points_per_sec: f64,
+}
+
+/// Run the multithreaded offline pipeline: ingestion (caller thread) →
+/// bounded buffer → compression workers → shared budgeted store, with a
+/// dedicated recoding thread draining space via the banded lossy MAB.
+pub fn run_offline_pipeline(
+    source: &mut dyn SegmentSource,
+    n_segments: usize,
+    config: &OfflineEngineConfig,
+) -> OfflineEngineReport {
+    use crate::selector::BandedLossySelector;
+    use crate::targets::RewardEvaluator;
+    use adaedge_storage::SegmentStore;
+
+    let reg = CodecRegistry::new(config.precision);
+    let store = Mutex::new(SegmentStore::with_budget(config.storage_budget_bytes));
+    let lossless = Mutex::new(LosslessSelector::new(
+        config.lossless_arms.clone(),
+        config.selector,
+    ));
+    let evaluator = RewardEvaluator::new(config.target.clone(), None, 0);
+    let lossy = Mutex::new(BandedLossySelector::new(
+        config.lossy_arms.clone(),
+        config.selector,
+        evaluator,
+    ));
+    let workers_done = std::sync::atomic::AtomicBool::new(false);
+    let recodes = AtomicU64::new(0);
+    let drops = AtomicU64::new(0);
+    let (tx, rx) = channel::bounded::<Vec<f64>>(config.buffer_segments.max(1));
+    let segment_points = source.segment_len() as u64;
+    let threshold = config.recode_threshold;
+    let budget = config.storage_budget_bytes;
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        // Recoding thread: frees space whenever occupancy crosses θ·budget.
+        let recoder = {
+            let store = &store;
+            let lossy = &lossy;
+            let reg = &reg;
+            let workers_done = &workers_done;
+            let recodes = &recodes;
+            scope.spawn(move || loop {
+                let over = store.lock().over_threshold(threshold);
+                if !over {
+                    if workers_done.load(Ordering::Acquire) {
+                        return;
+                    }
+                    std::thread::yield_now();
+                    continue;
+                }
+                // Snapshot a victim under the lock; recode outside it.
+                let victim = {
+                    let guard = store.lock();
+                    let raw_bytes: usize = guard.iter().map(|s| s.n_points() * 8).sum();
+                    let r_req = if raw_bytes == 0 {
+                        0.0
+                    } else {
+                        (threshold * budget as f64 / raw_bytes as f64).min(1.0)
+                    };
+                    let mut pick = None;
+                    for id in guard.victim_order() {
+                        if let Some(seg) = guard.peek(id) {
+                            if let Some(block) = seg.block() {
+                                if seg.ratio() > r_req {
+                                    pick = Some((id, block.clone(), seg.ratio() * 0.5));
+                                    break;
+                                }
+                                if pick.is_none() {
+                                    pick = Some((id, block.clone(), seg.ratio() * 0.5));
+                                }
+                            }
+                        }
+                    }
+                    pick
+                };
+                let Some((id, block, target_ratio)) = victim else {
+                    std::thread::yield_now();
+                    continue;
+                };
+                let old_bytes = block.compressed_bytes();
+                match lossy.lock().recode(reg, &block, None, target_ratio) {
+                    Ok(sel) if sel.block.compressed_bytes() < old_bytes => {
+                        let mut guard = store.lock();
+                        // The segment may have been touched meanwhile; only
+                        // commit if it still holds the block we recoded.
+                        let unchanged = guard
+                            .peek(id)
+                            .and_then(|s| s.block())
+                            .map(|b| b.compressed_bytes() == old_bytes)
+                            .unwrap_or(false);
+                        if unchanged && guard.replace(id, sel.block).is_ok() {
+                            recodes.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    _ => std::thread::yield_now(),
+                }
+            })
+        };
+
+        // Compression workers.
+        let mut workers = Vec::new();
+        for _ in 0..config.n_compression_threads.max(1) {
+            let rx = rx.clone();
+            let reg = &reg;
+            let lossless = &lossless;
+            let store = &store;
+            let drops = &drops;
+            workers.push(scope.spawn(move || {
+                while let Ok(data) = rx.recv() {
+                    let (arm, codec) = lossless.lock().select_arm();
+                    let Ok(block) = reg.get(codec).compress(&data) else {
+                        drops.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    };
+                    lossless.lock().report_block(arm, &block);
+                    // Wait (bounded) for the recoder to clear space.
+                    let mut stored = false;
+                    for _ in 0..10_000 {
+                        if store.lock().put_compressed(block.clone()).is_ok() {
+                            stored = true;
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                    if !stored {
+                        drops.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+        drop(rx);
+
+        for _ in 0..n_segments {
+            let seg = source.next_segment();
+            if tx.send(seg).is_err() {
+                break;
+            }
+        }
+        drop(tx);
+        for w in workers {
+            w.join().expect("worker panicked");
+        }
+        workers_done.store(true, Ordering::Release);
+        recoder.join().expect("recoder panicked");
+    });
+
+    let elapsed = start.elapsed().as_secs_f64();
+    let guard = store.lock();
+    let points = n_segments as u64 * segment_points;
+    OfflineEngineReport {
+        segments: guard.len() as u64,
+        points,
+        stored_bytes: guard.used_bytes(),
+        utilization: guard.utilization(),
+        recodes: recodes.load(Ordering::Relaxed),
+        drops: drops.load(Ordering::Relaxed),
+        elapsed_seconds: elapsed,
+        points_per_sec: points as f64 / elapsed.max(1e-9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaedge_datasets::SineStream;
+
+    fn run(threads: usize, segments: usize) -> EngineReport {
+        let mut source = SineStream::new(1000, 0.1, 4, 7);
+        let config = EngineConfig {
+            n_compression_threads: threads,
+            ..Default::default()
+        };
+        run_pipeline(&mut source, segments, &config)
+    }
+
+    #[test]
+    fn processes_all_segments() {
+        let report = run(2, 50);
+        assert_eq!(report.segments, 50);
+        assert_eq!(report.points, 50_000);
+        assert_eq!(report.bytes_in, 400_000);
+        assert!(report.bytes_out > 0);
+        assert!(report.bytes_out < report.bytes_in);
+        let total: u64 = report.codec_counts.values().sum();
+        assert_eq!(total, 50);
+    }
+
+    #[test]
+    fn throughput_is_positive_and_reported() {
+        let report = run(1, 20);
+        assert!(report.points_per_sec > 0.0);
+        assert!(report.elapsed_seconds > 0.0);
+    }
+
+    #[test]
+    fn offline_engine_bounds_space_under_pressure() {
+        use crate::query::AggKind;
+        use crate::targets::OptimizationTarget;
+        let mut source = SineStream::new(1000, 0.3, 4, 3);
+        let config = OfflineEngineConfig {
+            storage_budget_bytes: 60_000,
+            ..OfflineEngineConfig::new(60_000, OptimizationTarget::agg(AggKind::Sum))
+        };
+        let report = run_offline_pipeline(&mut source, 100, &config);
+        assert_eq!(report.segments + report.drops, 100);
+        assert!(report.drops <= 2, "drops {}", report.drops);
+        assert!(report.utilization <= 1.0 + 1e-9);
+        assert!(report.recodes > 0, "recoder never ran");
+        assert!(report.stored_bytes <= 60_000);
+    }
+
+    #[test]
+    fn offline_engine_without_pressure_keeps_everything_lossless() {
+        use crate::query::AggKind;
+        use crate::targets::OptimizationTarget;
+        let mut source = SineStream::new(500, 0.1, 4, 5);
+        let config = OfflineEngineConfig::new(10 << 20, OptimizationTarget::agg(AggKind::Sum));
+        let report = run_offline_pipeline(&mut source, 30, &config);
+        assert_eq!(report.segments, 30);
+        assert_eq!(report.drops, 0);
+        assert_eq!(report.recodes, 0);
+    }
+
+    #[test]
+    fn multiple_threads_do_not_lose_segments() {
+        for threads in [1, 2, 4, 8] {
+            let report = run(threads, 40);
+            let total: u64 = report.codec_counts.values().sum();
+            assert_eq!(total, 40, "{threads} threads");
+        }
+    }
+}

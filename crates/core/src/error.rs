@@ -1,0 +1,62 @@
+//! Framework-level error type.
+
+use adaedge_codecs::CodecError;
+use adaedge_storage::StoreError;
+
+/// Errors surfaced by the AdaEdge framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdaEdgeError {
+    /// A codec failed.
+    Codec(CodecError),
+    /// The segment store rejected an operation (budget breach = the
+    /// experiment "fails", as in the paper's setup).
+    Store(StoreError),
+    /// No candidate codec can reach the required target ratio on this
+    /// segment — the regime where conventional selection frameworks fail
+    /// outright (§III-A1).
+    NoFeasibleArm {
+        /// The ratio that was required.
+        target_ratio: f64,
+    },
+    /// The ingestion deadline was missed: compression/recoding could not
+    /// keep up with the signal rate (the Figure-14 failure mode).
+    DeadlineMissed {
+        /// Seconds of processing backlog beyond the allowance.
+        backlog_seconds: f64,
+    },
+    /// Configuration error.
+    Config(&'static str),
+}
+
+impl std::fmt::Display for AdaEdgeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdaEdgeError::Codec(e) => write!(f, "codec error: {e}"),
+            AdaEdgeError::Store(e) => write!(f, "store error: {e}"),
+            AdaEdgeError::NoFeasibleArm { target_ratio } => {
+                write!(f, "no codec can reach target ratio {target_ratio:.4}")
+            }
+            AdaEdgeError::DeadlineMissed { backlog_seconds } => {
+                write!(f, "ingestion deadline missed by {backlog_seconds:.3}s")
+            }
+            AdaEdgeError::Config(what) => write!(f, "configuration error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for AdaEdgeError {}
+
+impl From<CodecError> for AdaEdgeError {
+    fn from(e: CodecError) -> Self {
+        AdaEdgeError::Codec(e)
+    }
+}
+
+impl From<StoreError> for AdaEdgeError {
+    fn from(e: StoreError) -> Self {
+        AdaEdgeError::Store(e)
+    }
+}
+
+/// Convenient alias.
+pub type Result<T> = std::result::Result<T, AdaEdgeError>;

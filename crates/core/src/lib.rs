@@ -1,0 +1,37 @@
+//! # adaedge-core
+//!
+//! The AdaEdge framework (ICDE 2024): hardware-conscious, MAB-assisted
+//! lossless + lossy compression selection for resource-constrained edge
+//! devices.
+//!
+//! * [`constraints`] — ingestion rate / bandwidth / storage constraints and
+//!   the derived target ratio `R = B/(64·I)`.
+//! * [`targets`] — single and complex (weighted) optimization targets and
+//!   the reward evaluator.
+//! * [`selector`] — MAB-backed lossless, lossy and ratio-banded selectors.
+//! * [`online`] / [`offline`] — the two operating modes.
+//! * [`baselines`] — fixed pairs, CodecDB-like and TVStore-like baselines.
+//! * [`query`] — aggregation queries over reconstructed segments.
+//! * [`engine`] — the multithreaded ingest/compress/recode runtime.
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod constraints;
+pub mod engine;
+pub mod error;
+pub mod offline;
+pub mod online;
+pub mod query;
+pub mod selector;
+pub mod targets;
+
+pub use constraints::{Constraints, NetworkProfile};
+pub use error::{AdaEdgeError, Result};
+pub use offline::{IngestReport, OfflineAdaEdge, OfflineConfig, PolicyKind};
+pub use online::{OnlineAdaEdge, OnlineConfig, OnlineOutcome, OnlineStats, Path};
+pub use query::AggKind;
+pub use selector::{
+    BandedLossySelector, BanditAlgorithm, LosslessSelector, LossySelector, Selection,
+    SelectorConfig,
+};
+pub use targets::{OptimizationTarget, RewardEvaluator, TargetComponent};

@@ -1,0 +1,158 @@
+//! Aggregation queries over raw or reconstructed segments (§IV-D2),
+//! including the compressed-domain fast path.
+
+use adaedge_codecs::{agg_with_fallback, AggOp, CodecRegistry, CompressedBlock};
+use serde::{Deserialize, Serialize};
+
+/// Supported aggregation operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggKind {
+    /// Sum of all points.
+    Sum,
+    /// Maximum point.
+    Max,
+    /// Minimum point.
+    Min,
+    /// Arithmetic mean.
+    Avg,
+}
+
+impl AggKind {
+    /// Evaluate the aggregate over a slice.
+    pub fn eval(self, data: &[f64]) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        match self {
+            AggKind::Sum => data.iter().sum(),
+            AggKind::Max => data.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            AggKind::Min => data.iter().cloned().fold(f64::INFINITY, f64::min),
+            AggKind::Avg => data.iter().sum::<f64>() / data.len() as f64,
+        }
+    }
+
+    /// Combine per-segment partial aggregates into a global one.
+    /// For `Avg`, partials must be (sum, count) pairs — use
+    /// [`AggKind::eval_segments`] instead for a turnkey path.
+    pub fn combine(self, partials: &[f64]) -> f64 {
+        self.eval(partials)
+    }
+
+    /// Evaluate across many segments as one logical series.
+    pub fn eval_segments<'a>(self, segments: impl Iterator<Item = &'a [f64]>) -> f64 {
+        match self {
+            AggKind::Sum => segments.map(|s| s.iter().sum::<f64>()).sum(),
+            AggKind::Max => segments
+                .map(|s| self.eval(s))
+                .fold(f64::NEG_INFINITY, f64::max),
+            AggKind::Min => segments.map(|s| self.eval(s)).fold(f64::INFINITY, f64::min),
+            AggKind::Avg => {
+                let mut total = 0.0;
+                let mut count = 0usize;
+                for s in segments {
+                    total += s.iter().sum::<f64>();
+                    count += s.len();
+                }
+                if count == 0 {
+                    0.0
+                } else {
+                    total / count as f64
+                }
+            }
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggKind::Sum => "sum",
+            AggKind::Max => "max",
+            AggKind::Min => "min",
+            AggKind::Avg => "avg",
+        }
+    }
+
+    /// The compressed-domain operator equivalent.
+    pub fn op(self) -> AggOp {
+        match self {
+            AggKind::Sum => AggOp::Sum,
+            AggKind::Max => AggOp::Max,
+            AggKind::Min => AggOp::Min,
+            AggKind::Avg => AggOp::Avg,
+        }
+    }
+
+    /// Evaluate the aggregate over a compressed block, using the
+    /// compressed-domain fast path when the codec supports it (PAA window
+    /// sums, the FFT DC bin, PLA/LTTB knots, BUFF integer scans) and
+    /// decompressing otherwise.
+    pub fn eval_block(
+        self,
+        reg: &CodecRegistry,
+        block: &CompressedBlock,
+    ) -> crate::error::Result<f64> {
+        Ok(agg_with_fallback(reg, block, self.op())?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_aggregates() {
+        let data = [1.0, -2.0, 3.0, 4.0];
+        assert_eq!(AggKind::Sum.eval(&data), 6.0);
+        assert_eq!(AggKind::Max.eval(&data), 4.0);
+        assert_eq!(AggKind::Min.eval(&data), -2.0);
+        assert_eq!(AggKind::Avg.eval(&data), 1.5);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(AggKind::Sum.eval(&[]), 0.0);
+        assert_eq!(AggKind::Max.eval(&[]), 0.0);
+    }
+
+    #[test]
+    fn segment_combination_matches_flat() {
+        let a = [1.0, 5.0, 3.0];
+        let b = [2.0, -1.0];
+        let flat = [1.0, 5.0, 3.0, 2.0, -1.0];
+        for kind in [AggKind::Sum, AggKind::Max, AggKind::Min, AggKind::Avg] {
+            let seg = kind.eval_segments([a.as_slice(), b.as_slice()].into_iter());
+            assert!((seg - kind.eval(&flat)).abs() < 1e-12, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn combine_max_of_partials() {
+        assert_eq!(AggKind::Max.combine(&[3.0, 9.0, 1.0]), 9.0);
+    }
+
+    #[test]
+    fn eval_block_matches_decompression() {
+        use adaedge_codecs::CodecId;
+        let reg = CodecRegistry::new(4);
+        let data: Vec<f64> = (0..500)
+            .map(|i| ((i as f64 * 0.03).sin() * 1e4).round() / 1e4)
+            .collect();
+        // Direct path (PAA) and fallback path (Sprintz).
+        let paa = reg
+            .get_lossy(CodecId::Paa)
+            .unwrap()
+            .compress_to_ratio(&data, 0.2)
+            .unwrap();
+        let sprintz = reg.get(CodecId::Sprintz).compress(&data).unwrap();
+        for kind in [AggKind::Sum, AggKind::Max, AggKind::Min, AggKind::Avg] {
+            let via_block = kind.eval_block(&reg, &paa).unwrap();
+            let via_decode = kind.eval(&reg.decompress(&paa).unwrap());
+            assert!(
+                (via_block - via_decode).abs() < 1e-9 * via_decode.abs().max(1.0),
+                "{kind:?}: {via_block} vs {via_decode}"
+            );
+            let lossless = kind.eval_block(&reg, &sprintz).unwrap();
+            assert!((lossless - kind.eval(&data)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Optimization targets (§IV-D): what the MAB maximizes.
+//!
+//! A target is a weighted sum of normalized components — aggregation
+//! accuracy, ML task accuracy and compression throughput. Single targets
+//! are the one-component special case; weights must sum to 1.
+
+use crate::query::AggKind;
+use adaedge_bandit::Normalizer;
+use adaedge_ml::{metrics, Model};
+
+/// One component of an optimization target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TargetComponent {
+    /// Relative accuracy of an aggregation query (ACC_agg).
+    AggAccuracy(AggKind),
+    /// Machine-learning task accuracy (ACC_ml), needs an attached model.
+    MlAccuracy,
+    /// Compression throughput (C_thr), min–max normalized online.
+    Throughput,
+}
+
+/// A (possibly complex) optimization target: weighted components.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizationTarget {
+    components: Vec<(f64, TargetComponent)>,
+}
+
+impl OptimizationTarget {
+    /// Single aggregation-accuracy target.
+    pub fn agg(kind: AggKind) -> Self {
+        Self {
+            components: vec![(1.0, TargetComponent::AggAccuracy(kind))],
+        }
+    }
+
+    /// Single ML-accuracy target.
+    pub fn ml() -> Self {
+        Self {
+            components: vec![(1.0, TargetComponent::MlAccuracy)],
+        }
+    }
+
+    /// Single compression-throughput target.
+    pub fn throughput() -> Self {
+        Self {
+            components: vec![(1.0, TargetComponent::Throughput)],
+        }
+    }
+
+    /// Complex weighted target (§IV-D3). Weights must be positive and sum
+    /// to 1 (±1e-6).
+    pub fn complex(components: Vec<(f64, TargetComponent)>) -> Self {
+        assert!(!components.is_empty(), "need at least one component");
+        let sum: f64 = components.iter().map(|(w, _)| w).sum();
+        assert!((sum - 1.0).abs() < 1e-6, "weights must sum to 1, got {sum}");
+        assert!(
+            components.iter().all(|&(w, _)| w > 0.0),
+            "weights must be positive"
+        );
+        Self { components }
+    }
+
+    /// The weighted components.
+    pub fn components(&self) -> &[(f64, TargetComponent)] {
+        &self.components
+    }
+
+    /// Whether any component needs an ML model.
+    pub fn needs_model(&self) -> bool {
+        self.components
+            .iter()
+            .any(|(_, c)| matches!(c, TargetComponent::MlAccuracy))
+    }
+}
+
+/// Evaluates the optimization target for one compressed segment, producing
+/// the MAB reward in [0, 1].
+pub struct RewardEvaluator {
+    target: OptimizationTarget,
+    model: Option<Model>,
+    /// Rows of `instance_len` points are cut from each segment for ML
+    /// evaluation (a segment typically packs several dataset instances).
+    instance_len: usize,
+    throughput_norm: Normalizer,
+}
+
+impl std::fmt::Debug for RewardEvaluator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RewardEvaluator")
+            .field("target", &self.target)
+            .field("has_model", &self.model.is_some())
+            .field("instance_len", &self.instance_len)
+            .finish()
+    }
+}
+
+impl RewardEvaluator {
+    /// Build an evaluator. `model`/`instance_len` are required when the
+    /// target includes ML accuracy.
+    pub fn new(target: OptimizationTarget, model: Option<Model>, instance_len: usize) -> Self {
+        if target.needs_model() {
+            assert!(model.is_some(), "ML target requires a model");
+            assert!(instance_len > 0, "ML target requires an instance length");
+        }
+        Self {
+            target,
+            model,
+            instance_len,
+            throughput_norm: Normalizer::new(),
+        }
+    }
+
+    /// The configured target.
+    pub fn target(&self) -> &OptimizationTarget {
+        &self.target
+    }
+
+    /// The frozen model, if any.
+    pub fn model(&self) -> Option<&Model> {
+        self.model.as_ref()
+    }
+
+    /// Cut a segment into model-input rows (remainder points dropped).
+    fn rows(&self, data: &[f64]) -> Vec<Vec<f64>> {
+        data.chunks_exact(self.instance_len)
+            .map(|c| c.to_vec())
+            .collect()
+    }
+
+    /// ML accuracy of a reconstruction against the original segment.
+    pub fn ml_accuracy(&self, original: &[f64], reconstructed: &[f64]) -> f64 {
+        let model = self.model.as_ref().expect("ml_accuracy requires a model");
+        let orig_rows = self.rows(original);
+        let lossy_rows = self.rows(reconstructed);
+        metrics::ml_accuracy(model, &orig_rows, &lossy_rows)
+    }
+
+    /// Aggregation accuracy of a reconstruction.
+    pub fn agg_accuracy(&self, kind: AggKind, original: &[f64], reconstructed: &[f64]) -> f64 {
+        metrics::agg_accuracy(kind.eval(original), kind.eval(reconstructed)).max(0.0)
+    }
+
+    /// Evaluate the full target for one segment.
+    ///
+    /// * `original` — the raw points,
+    /// * `reconstructed` — decompressed output of the selected codec,
+    /// * `compress_seconds` — wall time the compression took.
+    pub fn evaluate(
+        &mut self,
+        original: &[f64],
+        reconstructed: &[f64],
+        compress_seconds: f64,
+    ) -> f64 {
+        let mut reward = 0.0;
+        for &(w, component) in self.target.components.clone().iter() {
+            let value = match component {
+                TargetComponent::AggAccuracy(kind) => {
+                    self.agg_accuracy(kind, original, reconstructed)
+                }
+                TargetComponent::MlAccuracy => self.ml_accuracy(original, reconstructed),
+                TargetComponent::Throughput => {
+                    let thr = metrics::compression_throughput(original.len() * 8, compress_seconds);
+                    self.throughput_norm.observe_and_normalize(thr)
+                }
+            };
+            reward += w * value;
+        }
+        reward.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaedge_ml::{Dataset, TreeConfig};
+
+    fn model() -> Model {
+        let data = Dataset::new(
+            vec![
+                vec![1.0, 1.0],
+                vec![2.0, 2.0],
+                vec![8.0, 8.0],
+                vec![9.0, 9.0],
+            ],
+            vec![0, 0, 1, 1],
+        );
+        Model::train_dtree(&data, TreeConfig::default())
+    }
+
+    #[test]
+    fn single_target_constructors() {
+        assert_eq!(OptimizationTarget::ml().components().len(), 1);
+        assert!(OptimizationTarget::ml().needs_model());
+        assert!(!OptimizationTarget::agg(AggKind::Sum).needs_model());
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_weights_rejected() {
+        OptimizationTarget::complex(vec![
+            (0.5, TargetComponent::Throughput),
+            (0.2, TargetComponent::MlAccuracy),
+        ]);
+    }
+
+    #[test]
+    fn perfect_reconstruction_gets_full_reward() {
+        let mut eval = RewardEvaluator::new(OptimizationTarget::ml(), Some(model()), 2);
+        let data = vec![1.0, 1.0, 9.0, 9.0];
+        assert_eq!(eval.evaluate(&data, &data, 1.0), 1.0);
+    }
+
+    #[test]
+    fn label_flips_reduce_ml_reward() {
+        let mut eval = RewardEvaluator::new(OptimizationTarget::ml(), Some(model()), 2);
+        let data = vec![1.0, 1.0, 9.0, 9.0];
+        let bad = vec![9.0, 9.0, 9.0, 9.0]; // first row flipped to class 1
+        assert_eq!(eval.evaluate(&data, &bad, 1.0), 0.5);
+    }
+
+    #[test]
+    fn agg_reward_tracks_relative_error() {
+        let mut eval = RewardEvaluator::new(OptimizationTarget::agg(AggKind::Sum), None, 0);
+        let data = vec![10.0, 10.0];
+        let close = vec![9.0, 10.0];
+        let r = eval.evaluate(&data, &close, 1.0);
+        assert!((r - 0.95).abs() < 1e-9, "{r}");
+    }
+
+    #[test]
+    fn complex_target_mixes_components() {
+        let target = OptimizationTarget::complex(vec![
+            (0.625, TargetComponent::AggAccuracy(AggKind::Sum)),
+            (0.375, TargetComponent::MlAccuracy),
+        ]);
+        let mut eval = RewardEvaluator::new(target, Some(model()), 2);
+        let data = vec![1.0, 1.0, 9.0, 9.0];
+        // Perfect on both components.
+        assert!((eval.evaluate(&data, &data, 1.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_component_prefers_fast_codecs() {
+        let mut eval = RewardEvaluator::new(OptimizationTarget::throughput(), None, 0);
+        let data = vec![0.0; 1000];
+        // Warm the normalizer with a slow and a fast observation.
+        eval.evaluate(&data, &data, 1.0);
+        eval.evaluate(&data, &data, 0.001);
+        let slow = eval.evaluate(&data, &data, 0.8);
+        let fast = eval.evaluate(&data, &data, 0.002);
+        assert!(fast > slow, "fast {fast} vs slow {slow}");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a model")]
+    fn ml_target_without_model_rejected() {
+        RewardEvaluator::new(OptimizationTarget::ml(), None, 2);
+    }
+}

@@ -1,0 +1,224 @@
+//! The Cylinder–Bell–Funnel dataset (Saito 1994) — the controlled-
+//! distribution simulated dataset the paper streams in every adaptive-
+//! selection experiment (§V-B).
+//!
+//! Each instance is one of three shapes on a noisy baseline:
+//!
+//! * **cylinder** — a plateau of height `6 + η` on `[a, b]`,
+//! * **bell**     — a ramp up from 0 to `6 + η` across `[a, b]`,
+//! * **funnel**   — a ramp down from `6 + η` to 0 across `[a, b]`,
+//!
+//! with `a ~ U{16..32}`, `b − a ~ U{32..96}`, `η ~ N(0,1)` and additive
+//! `N(0,1)` noise everywhere.
+
+use crate::rng::{round_all, standard_normal};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The three CBF classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CbfClass {
+    /// Plateau shape.
+    Cylinder,
+    /// Rising ramp.
+    Bell,
+    /// Falling ramp.
+    Funnel,
+}
+
+impl CbfClass {
+    /// Dense label 0/1/2.
+    pub fn label(self) -> usize {
+        match self {
+            CbfClass::Cylinder => 0,
+            CbfClass::Bell => 1,
+            CbfClass::Funnel => 2,
+        }
+    }
+
+    /// All classes in label order.
+    pub const ALL: [CbfClass; 3] = [CbfClass::Cylinder, CbfClass::Bell, CbfClass::Funnel];
+}
+
+/// CBF generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CbfConfig {
+    /// Instance length (the classic CBF uses 128).
+    pub length: usize,
+    /// Decimal digits the emitted values are rounded to (paper: 4).
+    pub precision: u8,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CbfConfig {
+    fn default() -> Self {
+        Self {
+            length: 128,
+            precision: 4,
+            seed: 0,
+        }
+    }
+}
+
+/// A seeded CBF instance generator.
+#[derive(Debug)]
+pub struct CbfGenerator {
+    config: CbfConfig,
+    rng: SmallRng,
+}
+
+impl CbfGenerator {
+    /// Create a generator.
+    pub fn new(config: CbfConfig) -> Self {
+        Self {
+            config,
+            rng: SmallRng::seed_from_u64(config.seed),
+        }
+    }
+
+    /// The configured instance length.
+    pub fn length(&self) -> usize {
+        self.config.length
+    }
+
+    /// Generate one instance of the given class.
+    pub fn instance(&mut self, class: CbfClass) -> Vec<f64> {
+        let n = self.config.length;
+        // Scale the classic [16,32]/[32,96] intervals to the actual length.
+        let scale = n as f64 / 128.0;
+        let a_lo = (16.0 * scale).max(1.0) as usize;
+        let a_hi = (32.0 * scale).max(a_lo as f64 + 1.0) as usize;
+        let w_lo = (32.0 * scale).max(1.0) as usize;
+        let w_hi = (96.0 * scale).max(w_lo as f64 + 1.0) as usize;
+        let a = self.rng.gen_range(a_lo..=a_hi).min(n.saturating_sub(2));
+        let width = self.rng.gen_range(w_lo..=w_hi);
+        let b = (a + width).min(n - 1).max(a + 1);
+        let eta = standard_normal(&mut self.rng);
+        let amp = 6.0 + eta;
+        let mut out = Vec::with_capacity(n);
+        for t in 0..n {
+            let shape = if t >= a && t <= b {
+                match class {
+                    CbfClass::Cylinder => amp,
+                    CbfClass::Bell => amp * (t - a) as f64 / (b - a) as f64,
+                    CbfClass::Funnel => amp * (b - t) as f64 / (b - a) as f64,
+                }
+            } else {
+                0.0
+            };
+            out.push(shape + standard_normal(&mut self.rng));
+        }
+        round_all(&mut out, self.config.precision);
+        out
+    }
+
+    /// Generate one instance with a cyclic class (0, 1, 2, 0, ...),
+    /// returning `(values, label)`.
+    pub fn next_cycled(&mut self, counter: usize) -> (Vec<f64>, usize) {
+        let class = CbfClass::ALL[counter % 3];
+        (self.instance(class), class.label())
+    }
+
+    /// Generate a labeled dataset with `per_class` instances of each class.
+    pub fn dataset(&mut self, per_class: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rows = Vec::with_capacity(per_class * 3);
+        let mut labels = Vec::with_capacity(per_class * 3);
+        for _ in 0..per_class {
+            for class in CbfClass::ALL {
+                rows.push(self.instance(class));
+                labels.push(class.label());
+            }
+        }
+        (rows, labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instances_have_configured_length() {
+        let mut g = CbfGenerator::new(CbfConfig::default());
+        for class in CbfClass::ALL {
+            assert_eq!(g.instance(class).len(), 128);
+        }
+        let mut g = CbfGenerator::new(CbfConfig {
+            length: 256,
+            ..Default::default()
+        });
+        assert_eq!(g.instance(CbfClass::Bell).len(), 256);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = CbfGenerator::new(CbfConfig::default());
+        let mut b = CbfGenerator::new(CbfConfig::default());
+        assert_eq!(
+            a.instance(CbfClass::Cylinder),
+            b.instance(CbfClass::Cylinder)
+        );
+    }
+
+    #[test]
+    fn values_respect_precision() {
+        let mut g = CbfGenerator::new(CbfConfig::default());
+        let inst = g.instance(CbfClass::Funnel);
+        for v in inst {
+            let scaled = v * 1e4;
+            assert!(
+                (scaled - scaled.round()).abs() < 1e-6,
+                "{v} not at 4 digits"
+            );
+        }
+    }
+
+    #[test]
+    fn shapes_are_distinguishable() {
+        // Cylinder plateaus high in the middle; bell rises; funnel falls.
+        let mut g = CbfGenerator::new(CbfConfig {
+            seed: 5,
+            ..Default::default()
+        });
+        let avg = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+        let mut bell_late_minus_early = 0.0;
+        let mut funnel_late_minus_early = 0.0;
+        for _ in 0..20 {
+            let bell = g.instance(CbfClass::Bell);
+            let funnel = g.instance(CbfClass::Funnel);
+            bell_late_minus_early += avg(&bell[64..96]) - avg(&bell[16..48]);
+            funnel_late_minus_early += avg(&funnel[64..96]) - avg(&funnel[16..48]);
+        }
+        assert!(bell_late_minus_early > 0.0, "bell should rise");
+        assert!(funnel_late_minus_early < 0.0, "funnel should fall");
+    }
+
+    #[test]
+    fn dataset_is_balanced() {
+        let mut g = CbfGenerator::new(CbfConfig::default());
+        let (rows, labels) = g.dataset(10);
+        assert_eq!(rows.len(), 30);
+        for c in 0..3 {
+            assert_eq!(labels.iter().filter(|&&l| l == c).count(), 10);
+        }
+    }
+
+    #[test]
+    fn cycled_labels_rotate() {
+        let mut g = CbfGenerator::new(CbfConfig::default());
+        assert_eq!(g.next_cycled(0).1, 0);
+        assert_eq!(g.next_cycled(1).1, 1);
+        assert_eq!(g.next_cycled(2).1, 2);
+        assert_eq!(g.next_cycled(3).1, 0);
+    }
+
+    #[test]
+    fn short_instances_work() {
+        let mut g = CbfGenerator::new(CbfConfig {
+            length: 32,
+            ..Default::default()
+        });
+        assert_eq!(g.instance(CbfClass::Cylinder).len(), 32);
+    }
+}

@@ -1,0 +1,27 @@
+//! # adaedge-datasets
+//!
+//! Seeded, deterministic dataset substrate for the AdaEdge reproduction:
+//! the Cylinder–Bell–Funnel generator the paper streams in its adaptive
+//! experiments, UCR-like / UCI-like synthetic classification archives
+//! (stand-ins for the proprietary-download archives — see DESIGN.md),
+//! and streaming segment sources including the Figure-15 entropy-shift
+//! stream.
+//!
+//! ```
+//! use adaedge_datasets::{CbfConfig, CbfGenerator, CbfClass};
+//!
+//! let mut gen = CbfGenerator::new(CbfConfig::default());
+//! let instance = gen.instance(CbfClass::Bell);
+//! assert_eq!(instance.len(), 128);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cbf;
+pub mod rng;
+pub mod stream;
+pub mod synthetic;
+
+pub use cbf::{CbfClass, CbfConfig, CbfGenerator};
+pub use stream::{CbfStream, CycleSource, SegmentSource, ShiftStream, SineStream};
+pub use synthetic::{uci_like, ucr_like, Labeled, SyntheticConfig};

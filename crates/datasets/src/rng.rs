@@ -1,0 +1,69 @@
+//! Random-sampling helpers: a Box–Muller standard-normal sampler (kept
+//! in-repo so we do not need `rand_distr`) and precision rounding.
+
+use rand::Rng;
+
+/// Sample a standard normal via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] avoids ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Sample `N(mean, std)`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    mean + std * standard_normal(rng)
+}
+
+/// Round every value to `precision` decimal digits — generators emit data
+/// already at the dataset's declared precision so the quantizing lossless
+/// codecs (Sprintz, BUFF) are exactly lossless on it.
+pub fn round_all(data: &mut [f64], precision: u8) {
+    let scale = 10f64.powi(precision as i32);
+    for v in data.iter_mut() {
+        *v = (*v * scale).round() / scale;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_has_right_moments() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn scaled_normal() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.06, "mean {mean}");
+    }
+
+    #[test]
+    fn rounding() {
+        let mut data = vec![1.23456, -0.00049];
+        round_all(&mut data, 3);
+        assert_eq!(data, vec![1.235, -0.0]);
+    }
+
+    #[test]
+    fn samples_are_finite() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            assert!(standard_normal(&mut rng).is_finite());
+        }
+    }
+}

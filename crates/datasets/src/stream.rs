@@ -1,0 +1,272 @@
+//! Streaming segment sources: the "dummy client" of §V-B that feeds
+//! AdaEdge a continuous signal, organized into fixed-size segments.
+
+use crate::cbf::{CbfConfig, CbfGenerator};
+use crate::rng::round_all;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A source of fixed-size time-series segments.
+pub trait SegmentSource: Send {
+    /// Points per segment.
+    fn segment_len(&self) -> usize;
+
+    /// Produce the next segment.
+    fn next_segment(&mut self) -> Vec<f64>;
+}
+
+/// Streams CBF instances back-to-back, cutting the point stream into
+/// segments of `segment_len` points (classes cycle C→B→F).
+#[derive(Debug)]
+pub struct CbfStream {
+    gen: CbfGenerator,
+    segment_len: usize,
+    buffer: Vec<f64>,
+    counter: usize,
+}
+
+impl CbfStream {
+    /// Create a CBF point stream with the given segment size.
+    pub fn new(config: CbfConfig, segment_len: usize) -> Self {
+        assert!(segment_len > 0, "segment_len must be positive");
+        Self {
+            gen: CbfGenerator::new(config),
+            segment_len,
+            buffer: Vec::new(),
+            counter: 0,
+        }
+    }
+}
+
+impl SegmentSource for CbfStream {
+    fn segment_len(&self) -> usize {
+        self.segment_len
+    }
+
+    fn next_segment(&mut self) -> Vec<f64> {
+        while self.buffer.len() < self.segment_len {
+            let (inst, _) = self.gen.next_cycled(self.counter);
+            self.counter += 1;
+            self.buffer.extend(inst);
+        }
+        let rest = self.buffer.split_off(self.segment_len);
+        std::mem::replace(&mut self.buffer, rest)
+    }
+}
+
+/// The Figure-15 shift stream: the first `shift_after` segments are
+/// high-entropy CBF data; afterwards the stream switches to low-entropy
+/// data drawn from a small value alphabet (highly repetitive, where
+/// dictionary/byte compression dominate).
+#[derive(Debug)]
+pub struct ShiftStream {
+    cbf: CbfStream,
+    rng: SmallRng,
+    segment_len: usize,
+    produced: usize,
+    shift_after: usize,
+    alphabet: Vec<f64>,
+    precision: u8,
+}
+
+impl ShiftStream {
+    /// Create a shift stream. `shift_after` is the segment index at which
+    /// the distribution changes; `alphabet_size` controls the low-entropy
+    /// half's distinct values.
+    pub fn new(
+        config: CbfConfig,
+        segment_len: usize,
+        shift_after: usize,
+        alphabet_size: usize,
+    ) -> Self {
+        assert!(alphabet_size >= 1);
+        let mut rng = SmallRng::seed_from_u64(config.seed.wrapping_add(0xC0FFEE));
+        let alphabet: Vec<f64> = (0..alphabet_size)
+            .map(|_| (rng.gen::<f64>() * 10.0 * 1e4).round() / 1e4)
+            .collect();
+        Self {
+            cbf: CbfStream::new(config, segment_len),
+            rng,
+            segment_len,
+            produced: 0,
+            shift_after,
+            alphabet,
+            precision: config.precision,
+        }
+    }
+
+    /// Whether the distribution has already shifted.
+    pub fn has_shifted(&self) -> bool {
+        self.produced >= self.shift_after
+    }
+}
+
+impl SegmentSource for ShiftStream {
+    fn segment_len(&self) -> usize {
+        self.segment_len
+    }
+
+    fn next_segment(&mut self) -> Vec<f64> {
+        self.produced += 1;
+        if self.produced <= self.shift_after {
+            self.cbf.next_segment()
+        } else {
+            // Low-entropy: a cyclic tiling of the small alphabet with an
+            // occasional phase jump. Consecutive values differ (so XOR
+            // codecs gain nothing) but the byte stream is massively
+            // repetitive — the regime where gzip/zlib/dict dominate.
+            let k = self.alphabet.len();
+            let mut phase = self.rng.gen_range(0..k);
+            let mut out = Vec::with_capacity(self.segment_len);
+            while out.len() < self.segment_len {
+                let run = self
+                    .rng
+                    .gen_range(64..256)
+                    .min(self.segment_len - out.len());
+                for i in 0..run {
+                    out.push(self.alphabet[(phase + i) % k]);
+                }
+                phase = self.rng.gen_range(0..k);
+            }
+            round_all(&mut out, self.precision);
+            out
+        }
+    }
+}
+
+/// A pure sine + noise stream used by throughput experiments where signal
+/// content does not matter, only byte volume.
+#[derive(Debug)]
+pub struct SineStream {
+    segment_len: usize,
+    t: u64,
+    rng: SmallRng,
+    noise: f64,
+    precision: u8,
+}
+
+impl SineStream {
+    /// Create a sine stream with the given additive noise.
+    pub fn new(segment_len: usize, noise: f64, precision: u8, seed: u64) -> Self {
+        assert!(segment_len > 0);
+        Self {
+            segment_len,
+            t: 0,
+            rng: SmallRng::seed_from_u64(seed),
+            noise,
+            precision,
+        }
+    }
+}
+
+impl SegmentSource for SineStream {
+    fn segment_len(&self) -> usize {
+        self.segment_len
+    }
+
+    fn next_segment(&mut self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.segment_len);
+        for _ in 0..self.segment_len {
+            let x = self.t as f64 * 0.01;
+            let v = 3.0 * x.sin() + self.noise * crate::rng::standard_normal(&mut self.rng);
+            out.push(v);
+            self.t += 1;
+        }
+        round_all(&mut out, self.precision);
+        out
+    }
+}
+
+/// Cycles through a pre-generated pool of segments. Used by throughput
+/// benchmarks where generation cost must not pollute the measurement.
+#[derive(Debug)]
+pub struct CycleSource {
+    segments: Vec<Vec<f64>>,
+    idx: usize,
+}
+
+impl CycleSource {
+    /// Pre-generate `pool` segments from `inner` and cycle over them.
+    pub fn pregenerate(inner: &mut dyn SegmentSource, pool: usize) -> Self {
+        assert!(pool > 0);
+        Self {
+            segments: (0..pool).map(|_| inner.next_segment()).collect(),
+            idx: 0,
+        }
+    }
+}
+
+impl SegmentSource for CycleSource {
+    fn segment_len(&self) -> usize {
+        self.segments[0].len()
+    }
+
+    fn next_segment(&mut self) -> Vec<f64> {
+        let seg = self.segments[self.idx % self.segments.len()].clone();
+        self.idx += 1;
+        seg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_source_repeats_pool() {
+        let mut inner = SineStream::new(64, 0.0, 4, 1);
+        let mut c = CycleSource::pregenerate(&mut inner, 3);
+        let a = c.next_segment();
+        c.next_segment();
+        c.next_segment();
+        let a2 = c.next_segment();
+        assert_eq!(a, a2);
+        assert_eq!(c.segment_len(), 64);
+    }
+
+    #[test]
+    fn cbf_stream_produces_fixed_segments() {
+        let mut s = CbfStream::new(CbfConfig::default(), 1000);
+        for _ in 0..5 {
+            assert_eq!(s.next_segment().len(), 1000);
+        }
+    }
+
+    #[test]
+    fn cbf_stream_is_deterministic() {
+        let mut a = CbfStream::new(CbfConfig::default(), 500);
+        let mut b = CbfStream::new(CbfConfig::default(), 500);
+        assert_eq!(a.next_segment(), b.next_segment());
+        assert_eq!(a.next_segment(), b.next_segment());
+    }
+
+    #[test]
+    fn shift_stream_changes_entropy() {
+        let mut s = ShiftStream::new(CbfConfig::default(), 1000, 3, 4);
+        let distinct = |seg: &[f64]| {
+            let mut set: Vec<u64> = seg.iter().map(|v| v.to_bits()).collect();
+            set.sort_unstable();
+            set.dedup();
+            set.len()
+        };
+        let before = s.next_segment();
+        assert!(!s.has_shifted());
+        s.next_segment();
+        s.next_segment();
+        assert!(s.has_shifted());
+        let after = s.next_segment();
+        assert!(distinct(&before) > 500, "CBF half should be high entropy");
+        assert!(distinct(&after) <= 4, "shifted half should be low entropy");
+    }
+
+    #[test]
+    fn sine_stream_is_continuous_across_segments() {
+        let mut s = SineStream::new(100, 0.0, 6, 0);
+        let a = s.next_segment();
+        let b = s.next_segment();
+        // Continuity: last of a and first of b follow the same sine.
+        let expected = 3.0 * (100.0 * 0.01_f64).sin();
+        assert!((b[0] - expected).abs() < 1e-4, "{} vs {expected}", b[0]);
+        assert_eq!(a.len(), 100);
+    }
+}

@@ -1,0 +1,112 @@
+//! Dataset container shared by the ML models: rows of `f64` features with
+//! optional class labels. In AdaEdge a "row" is one time-series segment
+//! whose points are the features, matching how the paper feeds UCR/UCI
+//! series to classifiers.
+
+use serde::{Deserialize, Serialize};
+
+/// A labeled (or unlabeled) feature matrix.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Feature rows; all rows must share a length.
+    pub rows: Vec<Vec<f64>>,
+    /// Class label per row; empty for unlabeled data.
+    pub labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Build a labeled dataset, validating shape.
+    pub fn new(rows: Vec<Vec<f64>>, labels: Vec<usize>) -> Self {
+        assert_eq!(rows.len(), labels.len(), "rows and labels must align");
+        if let Some(first) = rows.first() {
+            let d = first.len();
+            assert!(
+                rows.iter().all(|r| r.len() == d),
+                "all rows must share a dimension"
+            );
+        }
+        Self { rows, labels }
+    }
+
+    /// Build an unlabeled dataset.
+    pub fn unlabeled(rows: Vec<Vec<f64>>) -> Self {
+        if let Some(first) = rows.first() {
+            let d = first.len();
+            assert!(
+                rows.iter().all(|r| r.len() == d),
+                "all rows must share a dimension"
+            );
+        }
+        Self {
+            rows,
+            labels: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Feature dimension (0 when empty).
+    pub fn dim(&self) -> usize {
+        self.rows.first().map_or(0, Vec::len)
+    }
+
+    /// Number of distinct classes (labels are assumed dense from 0).
+    pub fn n_classes(&self) -> usize {
+        self.labels.iter().max().map_or(0, |&m| m + 1)
+    }
+}
+
+/// Squared Euclidean distance between two equal-length rows.
+#[inline]
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_accessors() {
+        let d = Dataset::new(vec![vec![1.0, 2.0], vec![3.0, 4.0]], vec![0, 1]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.n_classes(), 2);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let d = Dataset::unlabeled(vec![]);
+        assert!(d.is_empty());
+        assert_eq!(d.dim(), 0);
+        assert_eq!(d.n_classes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_labels_rejected() {
+        Dataset::new(vec![vec![1.0]], vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension")]
+    fn ragged_rows_rejected() {
+        Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![0, 1]);
+    }
+
+    #[test]
+    fn distance() {
+        assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(sq_dist(&[1.0], &[1.0]), 0.0);
+    }
+}

@@ -1,0 +1,362 @@
+//! CART decision tree (Gini impurity, axis-aligned splits).
+//!
+//! Trees branch on exact feature thresholds learned from the raw data, so
+//! even small lossy perturbations can flip a comparison and change the
+//! predicted label — the sensitivity the paper demonstrates in Figure 5.
+
+use crate::data::Dataset;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Tree-construction parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Number of random features considered per node; `0` means all
+    /// (set to √d by random forests).
+    pub feature_subset: usize,
+    /// RNG seed for feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 12,
+            min_samples_split: 2,
+            feature_subset: 0,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        label: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A trained decision tree classifier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionTree {
+    root: Node,
+    n_classes: usize,
+    dim: usize,
+}
+
+fn majority(labels: impl Iterator<Item = usize>, n_classes: usize) -> usize {
+    let mut counts = vec![0usize; n_classes.max(1)];
+    for l in labels {
+        counts[l] += 1;
+    }
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, c)| *c)
+        .map(|(l, _)| l)
+        .unwrap_or(0)
+}
+
+fn gini(counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    1.0 - counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / t;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+struct Builder<'a> {
+    data: &'a Dataset,
+    config: TreeConfig,
+    n_classes: usize,
+    rng: SmallRng,
+}
+
+impl<'a> Builder<'a> {
+    /// Best (feature, threshold, weighted gini) over the candidate features.
+    fn best_split(&mut self, idx: &[usize]) -> Option<(usize, f64, f64)> {
+        let dim = self.data.dim();
+        let mut features: Vec<usize> = (0..dim).collect();
+        if self.config.feature_subset > 0 && self.config.feature_subset < dim {
+            features.shuffle(&mut self.rng);
+            features.truncate(self.config.feature_subset);
+        }
+        let mut best: Option<(usize, f64, f64)> = None;
+        let total = idx.len();
+        for &f in &features {
+            // Sort row indices by this feature's value.
+            let mut order: Vec<usize> = idx.to_vec();
+            order.sort_by(|&a, &b| {
+                self.data.rows[a][f]
+                    .partial_cmp(&self.data.rows[b][f])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut left = vec![0usize; self.n_classes];
+            let mut right = vec![0usize; self.n_classes];
+            for &i in &order {
+                right[self.data.labels[i]] += 1;
+            }
+            for cut in 1..total {
+                let moved = order[cut - 1];
+                left[self.data.labels[moved]] += 1;
+                right[self.data.labels[moved]] -= 1;
+                let lo = self.data.rows[moved][f];
+                let hi = self.data.rows[order[cut]][f];
+                if lo == hi {
+                    continue; // No threshold separates equal values.
+                }
+                let score = (cut as f64 * gini(&left, cut)
+                    + (total - cut) as f64 * gini(&right, total - cut))
+                    / total as f64;
+                if best.is_none_or(|(_, _, s)| score < s) {
+                    best = Some((f, (lo + hi) * 0.5, score));
+                }
+            }
+        }
+        best
+    }
+
+    fn build(&mut self, idx: &[usize], depth: usize) -> Node {
+        let first_label = self.data.labels[idx[0]];
+        let pure = idx.iter().all(|&i| self.data.labels[i] == first_label);
+        if pure || depth >= self.config.max_depth || idx.len() < self.config.min_samples_split {
+            return Node::Leaf {
+                label: majority(idx.iter().map(|&i| self.data.labels[i]), self.n_classes),
+            };
+        }
+        let parent_gini = {
+            let mut counts = vec![0usize; self.n_classes];
+            for &i in idx {
+                counts[self.data.labels[i]] += 1;
+            }
+            gini(&counts, idx.len())
+        };
+        // Zero-gain splits are allowed (XOR-style targets need them); the
+        // weighted child impurity never exceeds the parent's, and recursion
+        // is bounded by depth and the strict partition below.
+        match self.best_split(idx) {
+            Some((feature, threshold, score)) if score <= parent_gini + 1e-12 => {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
+                    .iter()
+                    .partition(|&&i| self.data.rows[i][feature] <= threshold);
+                if left_idx.is_empty() || right_idx.is_empty() {
+                    return Node::Leaf {
+                        label: majority(idx.iter().map(|&i| self.data.labels[i]), self.n_classes),
+                    };
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left: Box::new(self.build(&left_idx, depth + 1)),
+                    right: Box::new(self.build(&right_idx, depth + 1)),
+                }
+            }
+            _ => Node::Leaf {
+                label: majority(idx.iter().map(|&i| self.data.labels[i]), self.n_classes),
+            },
+        }
+    }
+}
+
+impl DecisionTree {
+    /// Train a tree on a labeled dataset.
+    pub fn fit(data: &Dataset, config: TreeConfig) -> Self {
+        assert!(!data.is_empty(), "cannot fit on empty dataset");
+        assert_eq!(
+            data.rows.len(),
+            data.labels.len(),
+            "dataset must be labeled"
+        );
+        let n_classes = data.n_classes();
+        let mut builder = Builder {
+            data,
+            config,
+            n_classes,
+            rng: SmallRng::seed_from_u64(config.seed),
+        };
+        let idx: Vec<usize> = (0..data.len()).collect();
+        let root = builder.build(&idx, 0);
+        Self {
+            root,
+            n_classes,
+            dim: data.dim(),
+        }
+    }
+
+    /// Train a tree on a bootstrap sample given by `idx`.
+    pub(crate) fn fit_on_indices(data: &Dataset, idx: &[usize], config: TreeConfig) -> Self {
+        assert!(!idx.is_empty());
+        let n_classes = data.n_classes();
+        let mut builder = Builder {
+            data,
+            config,
+            n_classes,
+            rng: SmallRng::seed_from_u64(config.seed),
+        };
+        let root = builder.build(idx, 0);
+        Self {
+            root,
+            n_classes,
+            dim: data.dim(),
+        }
+    }
+
+    /// Predict the class of one feature row.
+    pub fn predict(&self, row: &[f64]) -> usize {
+        assert_eq!(row.len(), self.dim, "feature dimension mismatch");
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { label } => return *label,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of classes seen at training time.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Expected feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Depth of the trained tree (leaf-only tree has depth 0).
+    pub fn depth(&self) -> usize {
+        fn walk(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + walk(left).max(walk(right)),
+            }
+        }
+        walk(&self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated 2-D blobs.
+    fn blobs() -> Dataset {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..50 {
+            let jitter = (i as f64 * 0.37).sin() * 0.3;
+            rows.push(vec![1.0 + jitter, 1.0 - jitter]);
+            labels.push(0);
+            rows.push(vec![5.0 + jitter, 5.0 - jitter]);
+            labels.push(1);
+        }
+        Dataset::new(rows, labels)
+    }
+
+    #[test]
+    fn separable_data_is_learned_perfectly() {
+        let data = blobs();
+        let tree = DecisionTree::fit(&data, TreeConfig::default());
+        for (row, &label) in data.rows.iter().zip(&data.labels) {
+            assert_eq!(tree.predict(row), label);
+        }
+    }
+
+    #[test]
+    fn depth_limit_is_respected() {
+        let data = blobs();
+        let tree = DecisionTree::fit(
+            &data,
+            TreeConfig {
+                max_depth: 1,
+                ..Default::default()
+            },
+        );
+        assert!(tree.depth() <= 1);
+    }
+
+    #[test]
+    fn constant_labels_produce_leaf() {
+        let data = Dataset::new(vec![vec![1.0], vec![2.0], vec![3.0]], vec![1, 1, 1]);
+        let tree = DecisionTree::fit(&data, TreeConfig::default());
+        assert_eq!(tree.depth(), 0);
+        assert_eq!(tree.predict(&[99.0]), 1);
+    }
+
+    #[test]
+    fn xor_needs_depth_two() {
+        let rows = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let labels = vec![0, 1, 1, 0];
+        let data = Dataset::new(rows.clone(), labels.clone());
+        let tree = DecisionTree::fit(&data, TreeConfig::default());
+        for (row, &label) in rows.iter().zip(&labels) {
+            assert_eq!(tree.predict(row), label, "row {row:?}");
+        }
+        assert!(tree.depth() >= 2);
+    }
+
+    #[test]
+    fn small_perturbations_can_flip_predictions() {
+        // The Figure-5 effect: a value near a threshold flips the branch.
+        let data = Dataset::new(
+            vec![vec![1.0], vec![2.0], vec![3.0], vec![4.0]],
+            vec![0, 0, 1, 1],
+        );
+        let tree = DecisionTree::fit(&data, TreeConfig::default());
+        assert_eq!(tree.predict(&[2.4]), 0);
+        assert_eq!(tree.predict(&[2.6]), 1);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let data = blobs();
+        let tree = DecisionTree::fit(&data, TreeConfig::default());
+        let json = serde_json::to_string(&tree).unwrap();
+        let back: DecisionTree = serde_json::from_str(&json).unwrap();
+        for row in &data.rows {
+            assert_eq!(tree.predict(row), back.predict(row));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dim_rejected() {
+        let data = blobs();
+        let tree = DecisionTree::fit(&data, TreeConfig::default());
+        tree.predict(&[1.0]);
+    }
+}

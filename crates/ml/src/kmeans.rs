@@ -1,0 +1,269 @@
+//! K-means clustering (k-means++ seeding, Lloyd iterations).
+//!
+//! In AdaEdge the trained centroids act as a frozen clustering "model":
+//! the cluster assignment of a raw segment is ground truth, and the
+//! assignment of its lossy reconstruction is compared against it (the
+//! KMeans accuracy-loss curves of Figures 12–14).
+
+use crate::data::{sq_dist, Dataset};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// K-means training parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iter: usize,
+    /// Convergence tolerance on total centroid movement.
+    pub tol: f64,
+    /// RNG seed for k-means++ initialization.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        Self {
+            k: 3,
+            max_iter: 100,
+            tol: 1e-9,
+            seed: 0,
+        }
+    }
+}
+
+/// A trained k-means model: the centroids.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KMeans {
+    centroids: Vec<Vec<f64>>,
+    dim: usize,
+}
+
+impl KMeans {
+    /// Fit centroids to the dataset rows (labels are ignored).
+    pub fn fit(data: &Dataset, config: KMeansConfig) -> Self {
+        assert!(!data.is_empty(), "cannot fit on empty dataset");
+        assert!(config.k >= 1, "k must be >= 1");
+        let k = config.k.min(data.len());
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let mut centroids = kmeanspp_init(&data.rows, k, &mut rng);
+        let mut assign = vec![0usize; data.len()];
+        for _ in 0..config.max_iter {
+            // Assignment step.
+            for (i, row) in data.rows.iter().enumerate() {
+                assign[i] = nearest(&centroids, row).0;
+            }
+            // Update step.
+            let dim = data.dim();
+            let mut sums = vec![vec![0.0f64; dim]; k];
+            let mut counts = vec![0usize; k];
+            for (i, row) in data.rows.iter().enumerate() {
+                counts[assign[i]] += 1;
+                for (s, v) in sums[assign[i]].iter_mut().zip(row) {
+                    *s += v;
+                }
+            }
+            let mut movement = 0.0;
+            for c in 0..k {
+                if counts[c] == 0 {
+                    continue; // Empty cluster keeps its centroid.
+                }
+                let new: Vec<f64> = sums[c].iter().map(|s| s / counts[c] as f64).collect();
+                movement += sq_dist(&centroids[c], &new).sqrt();
+                centroids[c] = new;
+            }
+            if movement < config.tol {
+                break;
+            }
+        }
+        Self {
+            centroids,
+            dim: data.dim(),
+        }
+    }
+
+    /// Assign a row to its nearest centroid.
+    pub fn predict(&self, row: &[f64]) -> usize {
+        assert_eq!(row.len(), self.dim, "feature dimension mismatch");
+        nearest(&self.centroids, row).0
+    }
+
+    /// The trained centroids.
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Expected feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Total within-cluster sum of squares on a dataset.
+    pub fn inertia(&self, data: &Dataset) -> f64 {
+        data.rows
+            .iter()
+            .map(|row| nearest(&self.centroids, row).1)
+            .sum()
+    }
+}
+
+fn nearest(centroids: &[Vec<f64>], row: &[f64]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (i, c) in centroids.iter().enumerate() {
+        let d = sq_dist(c, row);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+fn kmeanspp_init(rows: &[Vec<f64>], k: usize, rng: &mut SmallRng) -> Vec<Vec<f64>> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(rows[rng.gen_range(0..rows.len())].clone());
+    let mut d2: Vec<f64> = rows.iter().map(|r| sq_dist(r, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            rows[rng.gen_range(0..rows.len())].clone()
+        } else {
+            let mut u = rng.gen::<f64>() * total;
+            let mut pick = rows.len() - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                if u < d {
+                    pick = i;
+                    break;
+                }
+                u -= d;
+            }
+            rows[pick].clone()
+        };
+        for (i, r) in rows.iter().enumerate() {
+            d2[i] = d2[i].min(sq_dist(r, &next));
+        }
+        centroids.push(next);
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_blobs() -> Dataset {
+        let mut rows = Vec::new();
+        for i in 0..30 {
+            let j = (i as f64 * 0.61).sin() * 0.2;
+            rows.push(vec![0.0 + j, 0.0 - j]);
+            rows.push(vec![10.0 + j, 0.0 + j]);
+            rows.push(vec![5.0 - j, 8.0 + j]);
+        }
+        Dataset::unlabeled(rows)
+    }
+
+    #[test]
+    fn finds_three_blobs() {
+        let data = three_blobs();
+        let km = KMeans::fit(
+            &data,
+            KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
+        // Each blob center should be near one centroid.
+        for target in [[0.0, 0.0], [10.0, 0.0], [5.0, 8.0]] {
+            let min_d = km
+                .centroids()
+                .iter()
+                .map(|c| sq_dist(c, &target))
+                .fold(f64::INFINITY, f64::min);
+            assert!(min_d < 0.5, "no centroid near {target:?}: {min_d}");
+        }
+    }
+
+    #[test]
+    fn assignments_are_consistent_with_centroids() {
+        let data = three_blobs();
+        let km = KMeans::fit(&data, KMeansConfig::default());
+        for row in &data.rows {
+            let c = km.predict(row);
+            let d_assigned = sq_dist(&km.centroids()[c], row);
+            for other in km.centroids() {
+                assert!(d_assigned <= sq_dist(other, row) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let data = three_blobs();
+        let a = KMeans::fit(&data, KMeansConfig::default());
+        let b = KMeans::fit(&data, KMeansConfig::default());
+        assert_eq!(a.centroids(), b.centroids());
+    }
+
+    #[test]
+    fn k_clamped_to_dataset_size() {
+        let data = Dataset::unlabeled(vec![vec![1.0], vec![2.0]]);
+        let km = KMeans::fit(
+            &data,
+            KMeansConfig {
+                k: 10,
+                ..Default::default()
+            },
+        );
+        assert_eq!(km.k(), 2);
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let data = three_blobs();
+        let i1 = KMeans::fit(
+            &data,
+            KMeansConfig {
+                k: 1,
+                ..Default::default()
+            },
+        )
+        .inertia(&data);
+        let i3 = KMeans::fit(
+            &data,
+            KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        )
+        .inertia(&data);
+        assert!(i3 < i1, "k=3 inertia {i3} vs k=1 {i1}");
+    }
+
+    #[test]
+    fn identical_points_degenerate_ok() {
+        let data = Dataset::unlabeled(vec![vec![2.0, 2.0]; 10]);
+        let km = KMeans::fit(
+            &data,
+            KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
+        assert_eq!(km.predict(&[2.0, 2.0]), km.predict(&[2.0, 2.0]));
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let data = three_blobs();
+        let km = KMeans::fit(&data, KMeansConfig::default());
+        let json = serde_json::to_string(&km).unwrap();
+        let back: KMeans = serde_json::from_str(&json).unwrap();
+        assert_eq!(km.centroids(), back.centroids());
+    }
+}

@@ -1,0 +1,130 @@
+//! K-nearest-neighbours classifier (Euclidean distance, majority vote,
+//! distance tie-break toward the nearest neighbour's label).
+
+use crate::data::{sq_dist, Dataset};
+use serde::{Deserialize, Serialize};
+
+/// A trained (memorized) KNN classifier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Knn {
+    k: usize,
+    rows: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+    n_classes: usize,
+    dim: usize,
+}
+
+impl Knn {
+    /// "Train" KNN by memorizing the dataset. `k` must be ≥ 1.
+    pub fn fit(data: &Dataset, k: usize) -> Self {
+        assert!(!data.is_empty(), "cannot fit on empty dataset");
+        assert!(k >= 1, "k must be >= 1");
+        Self {
+            k: k.min(data.len()),
+            rows: data.rows.clone(),
+            labels: data.labels.clone(),
+            n_classes: data.n_classes(),
+            dim: data.dim(),
+        }
+    }
+
+    /// Predict by majority vote among the `k` nearest training rows.
+    pub fn predict(&self, row: &[f64]) -> usize {
+        assert_eq!(row.len(), self.dim, "feature dimension mismatch");
+        // Partial selection of the k smallest distances.
+        let mut dists: Vec<(f64, usize)> = self
+            .rows
+            .iter()
+            .zip(&self.labels)
+            .map(|(r, &l)| (sq_dist(r, row), l))
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut votes = vec![0usize; self.n_classes.max(1)];
+        for &(_, l) in dists.iter().take(self.k) {
+            votes[l] += 1;
+        }
+        let best = votes.iter().max().copied().unwrap_or(0);
+        // Tie-break: among max-vote classes pick the one whose nearest
+        // representative is closest.
+        dists
+            .iter()
+            .take(self.k)
+            .find(|&&(_, l)| votes[l] == best)
+            .map(|&(_, l)| l)
+            .unwrap_or(0)
+    }
+
+    /// The `k` in use.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Expected feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of classes seen at training time.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Dataset {
+        Dataset::new(
+            vec![
+                vec![0.0, 0.0],
+                vec![0.1, 0.1],
+                vec![0.2, 0.0],
+                vec![5.0, 5.0],
+                vec![5.1, 4.9],
+                vec![4.9, 5.1],
+            ],
+            vec![0, 0, 0, 1, 1, 1],
+        )
+    }
+
+    #[test]
+    fn nearest_cluster_wins() {
+        let knn = Knn::fit(&data(), 3);
+        assert_eq!(knn.predict(&[0.05, 0.05]), 0);
+        assert_eq!(knn.predict(&[5.05, 5.0]), 1);
+    }
+
+    #[test]
+    fn k_one_memorizes() {
+        let d = data();
+        let knn = Knn::fit(&d, 1);
+        for (row, &label) in d.rows.iter().zip(&d.labels) {
+            assert_eq!(knn.predict(row), label);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_dataset_is_clamped() {
+        let knn = Knn::fit(&data(), 100);
+        assert_eq!(knn.k(), 6);
+        // All six vote: tie 3-3, nearest representative breaks it.
+        assert_eq!(knn.predict(&[0.0, 0.1]), 0);
+    }
+
+    #[test]
+    fn tie_breaks_toward_nearest() {
+        let d = Dataset::new(vec![vec![0.0], vec![10.0]], vec![0, 1]);
+        let knn = Knn::fit(&d, 2);
+        assert_eq!(knn.predict(&[1.0]), 0);
+        assert_eq!(knn.predict(&[9.0]), 1);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let knn = Knn::fit(&data(), 3);
+        let json = serde_json::to_string(&knn).unwrap();
+        let back: Knn = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.predict(&[0.0, 0.0]), 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # adaedge-ml
+//!
+//! The machine-learning substrate AdaEdge evaluates lossy compression
+//! against: CART decision trees, random forests, KNN and k-means —
+//! implemented from scratch — plus the §IV-D accuracy metrics and the
+//! model (de)serialization module. Models are trained once on raw data,
+//! frozen, and their predictions on raw data serve as ground truth when
+//! scoring lossy reconstructions.
+//!
+//! ```
+//! use adaedge_ml::{Dataset, Model, TreeConfig, metrics};
+//!
+//! let data = Dataset::new(
+//!     vec![vec![1.0], vec![2.0], vec![5.0], vec![6.0]],
+//!     vec![0, 0, 1, 1],
+//! );
+//! let model = Model::train_dtree(&data, TreeConfig::default());
+//!
+//! // A mild reconstruction keeps every prediction intact:
+//! let lossy = vec![vec![1.01], vec![2.01], vec![4.99], vec![6.01]];
+//! assert_eq!(metrics::ml_accuracy(&model, &data.rows, &lossy), 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod dtree;
+pub mod forest;
+pub mod kmeans;
+pub mod knn;
+pub mod metrics;
+pub mod model;
+
+pub use data::Dataset;
+pub use dtree::{DecisionTree, TreeConfig};
+pub use forest::{ForestConfig, RandomForest};
+pub use kmeans::{KMeans, KMeansConfig};
+pub use knn::Knn;
+pub use model::{Model, TaskKind};

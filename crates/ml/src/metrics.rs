@@ -1,0 +1,135 @@
+//! Accuracy metrics from §IV-D of the paper.
+
+use crate::model::Model;
+
+/// ACC_ml: fraction of rows where the model's prediction on the lossy
+/// reconstruction matches its prediction on the original data. The model's
+/// output on raw data is ground truth by assumption (§IV-D1).
+pub fn ml_accuracy(model: &Model, original: &[Vec<f64>], lossy: &[Vec<f64>]) -> f64 {
+    assert_eq!(original.len(), lossy.len(), "row counts must match");
+    if original.is_empty() {
+        return 1.0;
+    }
+    let matches = original
+        .iter()
+        .zip(lossy)
+        .filter(|(o, l)| model.predict(o) == model.predict(l))
+        .count();
+    matches as f64 / original.len() as f64
+}
+
+/// ACC_ml when the ground-truth predictions are already known (avoids
+/// re-running the model on the originals every evaluation round).
+pub fn ml_accuracy_vs_reference(model: &Model, reference: &[usize], lossy: &[Vec<f64>]) -> f64 {
+    assert_eq!(reference.len(), lossy.len(), "row counts must match");
+    if reference.is_empty() {
+        return 1.0;
+    }
+    let matches = reference
+        .iter()
+        .zip(lossy)
+        .filter(|(&r, l)| model.predict(l) == r)
+        .count();
+    matches as f64 / reference.len() as f64
+}
+
+/// ACC_agg = 1 − |V_true − V_lossy| / |V_true| (relative aggregation
+/// accuracy, §IV-D2). Degenerate `V_true = 0` compares absolutely.
+pub fn agg_accuracy(v_true: f64, v_lossy: f64) -> f64 {
+    if v_true == 0.0 {
+        return if v_lossy == 0.0 { 1.0 } else { 0.0 };
+    }
+    1.0 - (v_true - v_lossy).abs() / v_true.abs()
+}
+
+/// Accuracy *loss* — what the paper's figures plot: `1 − accuracy`.
+pub fn loss_from_accuracy(accuracy: f64) -> f64 {
+    1.0 - accuracy
+}
+
+/// Compression throughput C_thr = original bytes / compression seconds
+/// (§IV-D2); fast compression correlates with power efficiency.
+pub fn compression_throughput(original_bytes: usize, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        return f64::INFINITY;
+    }
+    original_bytes as f64 / seconds
+}
+
+/// Plain classification accuracy against true labels (used when validating
+/// the ML substrate itself, not by the selection loop).
+pub fn label_accuracy(predicted: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(predicted.len(), truth.len());
+    if predicted.is_empty() {
+        return 1.0;
+    }
+    let matches = predicted.iter().zip(truth).filter(|(p, t)| p == t).count();
+    matches as f64 / predicted.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Dataset;
+    use crate::dtree::TreeConfig;
+
+    fn model_and_data() -> (Model, Vec<Vec<f64>>) {
+        let rows = vec![vec![1.0], vec![2.0], vec![5.0], vec![6.0]];
+        let data = Dataset::new(rows.clone(), vec![0, 0, 1, 1]);
+        (Model::train_dtree(&data, TreeConfig::default()), rows)
+    }
+
+    #[test]
+    fn identical_reconstruction_scores_one() {
+        let (m, rows) = model_and_data();
+        assert_eq!(ml_accuracy(&m, &rows, &rows), 1.0);
+    }
+
+    #[test]
+    fn flipped_rows_reduce_accuracy() {
+        let (m, rows) = model_and_data();
+        // Push the first two rows across the decision boundary.
+        let lossy = vec![vec![5.5], vec![5.5], vec![5.0], vec![6.0]];
+        let acc = ml_accuracy(&m, &rows, &lossy);
+        assert_eq!(acc, 0.5);
+    }
+
+    #[test]
+    fn reference_variant_matches_direct() {
+        let (m, rows) = model_and_data();
+        let reference: Vec<usize> = rows.iter().map(|r| m.predict(r)).collect();
+        let lossy = vec![vec![1.1], vec![2.1], vec![4.9], vec![6.1]];
+        assert_eq!(
+            ml_accuracy(&m, &rows, &lossy),
+            ml_accuracy_vs_reference(&m, &reference, &lossy)
+        );
+    }
+
+    #[test]
+    fn agg_accuracy_basics() {
+        assert_eq!(agg_accuracy(100.0, 100.0), 1.0);
+        assert!((agg_accuracy(100.0, 90.0) - 0.9).abs() < 1e-12);
+        assert_eq!(agg_accuracy(0.0, 0.0), 1.0);
+        assert_eq!(agg_accuracy(0.0, 1.0), 0.0);
+        // Negative truth handled via absolute value.
+        assert!((agg_accuracy(-100.0, -90.0) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_math() {
+        assert_eq!(compression_throughput(8000, 2.0), 4000.0);
+        assert_eq!(compression_throughput(100, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn label_accuracy_basics() {
+        assert_eq!(label_accuracy(&[0, 1, 1], &[0, 1, 0]), 2.0 / 3.0);
+        assert_eq!(label_accuracy(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn empty_rows_score_one() {
+        let (m, _) = model_and_data();
+        assert_eq!(ml_accuracy(&m, &[], &[]), 1.0);
+    }
+}

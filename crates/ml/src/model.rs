@@ -1,0 +1,194 @@
+//! The unified model container plus the serialization module the paper
+//! describes (§IV-D1): AdaEdge loads a pre-trained model from bytes and
+//! treats its predictions on raw data as ground truth.
+
+use crate::data::Dataset;
+use crate::dtree::{DecisionTree, TreeConfig};
+use crate::forest::{ForestConfig, RandomForest};
+use crate::kmeans::{KMeans, KMeansConfig};
+use crate::knn::Knn;
+use serde::{Deserialize, Serialize};
+
+/// Which task family a model belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// Supervised classification (label agreement metric).
+    Classification,
+    /// Unsupervised clustering (assignment agreement metric).
+    Clustering,
+}
+
+/// A frozen, pre-trained model: the "given input model" of §IV-D1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Model {
+    /// CART decision tree.
+    DecisionTree(DecisionTree),
+    /// Random forest.
+    RandomForest(RandomForest),
+    /// K-nearest neighbours.
+    Knn(Knn),
+    /// K-means clustering.
+    KMeans(KMeans),
+}
+
+impl Model {
+    /// Predict a label (classification) or cluster id (clustering).
+    pub fn predict(&self, row: &[f64]) -> usize {
+        match self {
+            Model::DecisionTree(m) => m.predict(row),
+            Model::RandomForest(m) => m.predict(row),
+            Model::Knn(m) => m.predict(row),
+            Model::KMeans(m) => m.predict(row),
+        }
+    }
+
+    /// Predict every row.
+    pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<usize> {
+        rows.iter().map(|r| self.predict(r)).collect()
+    }
+
+    /// Task family.
+    pub fn task_kind(&self) -> TaskKind {
+        match self {
+            Model::KMeans(_) => TaskKind::Clustering,
+            _ => TaskKind::Classification,
+        }
+    }
+
+    /// Short name for experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Model::DecisionTree(_) => "dtree",
+            Model::RandomForest(_) => "rforest",
+            Model::Knn(_) => "knn",
+            Model::KMeans(_) => "kmeans",
+        }
+    }
+
+    /// Expected feature dimension.
+    pub fn dim(&self) -> usize {
+        match self {
+            Model::DecisionTree(m) => m.dim(),
+            Model::RandomForest(m) => m.dim(),
+            Model::Knn(m) => m.dim(),
+            Model::KMeans(m) => m.dim(),
+        }
+    }
+
+    /// Serialize to the binary-ish interchange form (JSON bytes): the
+    /// serialization half of the paper's model management module.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("model serialization cannot fail")
+    }
+
+    /// Deserialize a model previously produced by [`Model::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, serde_json::Error> {
+        serde_json::from_slice(bytes)
+    }
+
+    /// Train a decision tree and freeze it.
+    pub fn train_dtree(data: &Dataset, config: TreeConfig) -> Self {
+        Model::DecisionTree(DecisionTree::fit(data, config))
+    }
+
+    /// Train a random forest and freeze it.
+    pub fn train_rforest(data: &Dataset, config: ForestConfig) -> Self {
+        Model::RandomForest(RandomForest::fit(data, config))
+    }
+
+    /// Memorize a KNN model.
+    pub fn train_knn(data: &Dataset, k: usize) -> Self {
+        Model::Knn(Knn::fit(data, k))
+    }
+
+    /// Train k-means and freeze the centroids.
+    pub fn train_kmeans(data: &Dataset, config: KMeansConfig) -> Self {
+        Model::KMeans(KMeans::fit(data, config))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Dataset {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            let j = (i as f64 * 0.37).sin() * 0.2;
+            rows.push(vec![j, 1.0 + j]);
+            labels.push(0);
+            rows.push(vec![4.0 + j, 5.0 - j]);
+            labels.push(1);
+        }
+        Dataset::new(rows, labels)
+    }
+
+    #[test]
+    fn all_variants_predict() {
+        let d = data();
+        let models = [
+            Model::train_dtree(&d, TreeConfig::default()),
+            Model::train_rforest(
+                &d,
+                ForestConfig {
+                    n_trees: 5,
+                    ..Default::default()
+                },
+            ),
+            Model::train_knn(&d, 3),
+            Model::train_kmeans(
+                &d,
+                KMeansConfig {
+                    k: 2,
+                    ..Default::default()
+                },
+            ),
+        ];
+        for m in &models {
+            let preds = m.predict_batch(&d.rows);
+            assert_eq!(preds.len(), d.len());
+        }
+    }
+
+    #[test]
+    fn task_kinds() {
+        let d = data();
+        assert_eq!(
+            Model::train_knn(&d, 1).task_kind(),
+            TaskKind::Classification
+        );
+        assert_eq!(
+            Model::train_kmeans(&d, KMeansConfig::default()).task_kind(),
+            TaskKind::Clustering
+        );
+    }
+
+    #[test]
+    fn bytes_roundtrip_preserves_predictions() {
+        let d = data();
+        for m in [
+            Model::train_dtree(&d, TreeConfig::default()),
+            Model::train_knn(&d, 3),
+            Model::train_kmeans(
+                &d,
+                KMeansConfig {
+                    k: 2,
+                    ..Default::default()
+                },
+            ),
+        ] {
+            let bytes = m.to_bytes();
+            let back = Model::from_bytes(&bytes).unwrap();
+            assert_eq!(back.name(), m.name());
+            for row in &d.rows {
+                assert_eq!(m.predict(row), back.predict(row));
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_bytes_rejected() {
+        assert!(Model::from_bytes(b"not a model").is_err());
+    }
+}

@@ -1,0 +1,232 @@
+//! Compression-sequencing policies (§IV-F).
+//!
+//! The segment-management component decides *which* segments get recoded
+//! first when space runs out. AdaEdge defaults to LRU — least recently
+//! accessed segments are compressed most aggressively, so query-hot and
+//! fresh segments stay accurate. RRDTool-style FIFO and a query-count
+//! policy are provided for the ablation benches; all implement the same
+//! GET/PUT-notification interface so alternatives slot in easily.
+
+use crate::segment::SegmentId;
+use std::collections::HashMap;
+
+/// Notification interface + victim ordering for recoding policies.
+pub trait CompressionPolicy: Send {
+    /// A segment was inserted (PUT).
+    fn on_insert(&mut self, id: SegmentId);
+
+    /// A segment was read by a query (GET).
+    fn on_access(&mut self, id: SegmentId);
+
+    /// A segment was recoded in place (treated as a fresh PUT by LRU:
+    /// newly compressed segments go to the back of the list).
+    fn on_recode(&mut self, id: SegmentId);
+
+    /// A segment was removed.
+    fn on_remove(&mut self, id: SegmentId);
+
+    /// Segments in recoding order: least valuable first.
+    fn victim_order(&self) -> Vec<SegmentId>;
+
+    /// Human-readable policy name.
+    fn name(&self) -> &'static str;
+}
+
+/// LRU: victims ordered by last touch (insert, access or recode).
+#[derive(Debug, Default)]
+pub struct LruPolicy {
+    seq: u64,
+    last_touch: HashMap<SegmentId, u64>,
+}
+
+impl LruPolicy {
+    /// Create an empty LRU policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn touch(&mut self, id: SegmentId) {
+        self.seq += 1;
+        self.last_touch.insert(id, self.seq);
+    }
+}
+
+impl CompressionPolicy for LruPolicy {
+    fn on_insert(&mut self, id: SegmentId) {
+        self.touch(id);
+    }
+
+    fn on_access(&mut self, id: SegmentId) {
+        self.touch(id);
+    }
+
+    fn on_recode(&mut self, id: SegmentId) {
+        self.touch(id);
+    }
+
+    fn on_remove(&mut self, id: SegmentId) {
+        self.last_touch.remove(&id);
+    }
+
+    fn victim_order(&self) -> Vec<SegmentId> {
+        let mut ids: Vec<(SegmentId, u64)> =
+            self.last_touch.iter().map(|(&id, &s)| (id, s)).collect();
+        ids.sort_by_key(|&(_, s)| s);
+        ids.into_iter().map(|(id, _)| id).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+}
+
+/// FIFO / round-robin (RRDTool-style): victims ordered purely by insertion;
+/// queries do not protect segments.
+#[derive(Debug, Default)]
+pub struct FifoPolicy {
+    seq: u64,
+    inserted: HashMap<SegmentId, u64>,
+}
+
+impl FifoPolicy {
+    /// Create an empty FIFO policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CompressionPolicy for FifoPolicy {
+    fn on_insert(&mut self, id: SegmentId) {
+        self.seq += 1;
+        self.inserted.entry(id).or_insert(self.seq);
+    }
+
+    fn on_access(&mut self, _id: SegmentId) {}
+
+    fn on_recode(&mut self, _id: SegmentId) {}
+
+    fn on_remove(&mut self, id: SegmentId) {
+        self.inserted.remove(&id);
+    }
+
+    fn victim_order(&self) -> Vec<SegmentId> {
+        let mut ids: Vec<(SegmentId, u64)> =
+            self.inserted.iter().map(|(&id, &s)| (id, s)).collect();
+        ids.sort_by_key(|&(_, s)| s);
+        ids.into_iter().map(|(id, _)| id).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+}
+
+/// Query-count informativeness: least-queried segments are recoded first,
+/// with insertion order breaking ties (an informativeness measure from
+/// §IV-B2).
+#[derive(Debug, Default)]
+pub struct QueryCountPolicy {
+    seq: u64,
+    stats: HashMap<SegmentId, (u64, u64)>, // (query count, insert seq)
+}
+
+impl QueryCountPolicy {
+    /// Create an empty query-count policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CompressionPolicy for QueryCountPolicy {
+    fn on_insert(&mut self, id: SegmentId) {
+        self.seq += 1;
+        let seq = self.seq;
+        self.stats.entry(id).or_insert((0, seq));
+    }
+
+    fn on_access(&mut self, id: SegmentId) {
+        if let Some(entry) = self.stats.get_mut(&id) {
+            entry.0 += 1;
+        }
+    }
+
+    fn on_recode(&mut self, _id: SegmentId) {}
+
+    fn on_remove(&mut self, id: SegmentId) {
+        self.stats.remove(&id);
+    }
+
+    fn victim_order(&self) -> Vec<SegmentId> {
+        let mut ids: Vec<(SegmentId, (u64, u64))> =
+            self.stats.iter().map(|(&id, &s)| (id, s)).collect();
+        ids.sort_by_key(|&(_, s)| s);
+        ids.into_iter().map(|(id, _)| id).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "query-count"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u64]) -> Vec<SegmentId> {
+        v.iter().map(|&i| SegmentId(i)).collect()
+    }
+
+    #[test]
+    fn lru_orders_by_recency() {
+        let mut p = LruPolicy::new();
+        for i in 0..4 {
+            p.on_insert(SegmentId(i));
+        }
+        assert_eq!(p.victim_order(), ids(&[0, 1, 2, 3]));
+        p.on_access(SegmentId(0)); // protect the oldest
+        assert_eq!(p.victim_order(), ids(&[1, 2, 3, 0]));
+        p.on_recode(SegmentId(1)); // recoded goes to the back
+        assert_eq!(p.victim_order(), ids(&[2, 3, 0, 1]));
+    }
+
+    #[test]
+    fn lru_remove() {
+        let mut p = LruPolicy::new();
+        p.on_insert(SegmentId(1));
+        p.on_insert(SegmentId(2));
+        p.on_remove(SegmentId(1));
+        assert_eq!(p.victim_order(), ids(&[2]));
+    }
+
+    #[test]
+    fn fifo_ignores_access() {
+        let mut p = FifoPolicy::new();
+        for i in 0..3 {
+            p.on_insert(SegmentId(i));
+        }
+        p.on_access(SegmentId(0));
+        p.on_access(SegmentId(0));
+        assert_eq!(p.victim_order(), ids(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn query_count_protects_hot_segments() {
+        let mut p = QueryCountPolicy::new();
+        for i in 0..3 {
+            p.on_insert(SegmentId(i));
+        }
+        p.on_access(SegmentId(0));
+        p.on_access(SegmentId(0));
+        p.on_access(SegmentId(1));
+        assert_eq!(p.victim_order(), ids(&[2, 1, 0]));
+    }
+
+    #[test]
+    fn reinsert_keeps_original_fifo_slot() {
+        let mut p = FifoPolicy::new();
+        p.on_insert(SegmentId(7));
+        p.on_insert(SegmentId(8));
+        p.on_insert(SegmentId(7)); // duplicate insert keeps first seq
+        assert_eq!(p.victim_order(), ids(&[7, 8]));
+    }
+}

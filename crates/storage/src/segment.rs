@@ -1,0 +1,119 @@
+//! Segments: the unit of storage, transfer and recoding.
+
+use adaedge_codecs::{CompressedBlock, POINT_BYTES};
+use serde::{Deserialize, Serialize};
+
+/// Unique, monotonically assigned segment identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SegmentId(pub u64);
+
+impl std::fmt::Display for SegmentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "seg#{}", self.0)
+    }
+}
+
+/// The representation a segment currently holds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SegmentData {
+    /// Uncompressed points (as ingested).
+    Raw(Vec<f64>),
+    /// A compressed block produced by some codec.
+    Compressed(CompressedBlock),
+}
+
+/// One stored segment with its metadata (§IV-C: every segment carries its
+/// compression configuration so downstream codecs can decode or recode it).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Segment {
+    /// Identifier.
+    pub id: SegmentId,
+    /// Ingestion timestamp (logical tick or point index).
+    pub timestamp: u64,
+    /// Current representation.
+    pub data: SegmentData,
+}
+
+impl Segment {
+    /// Create a raw (uncompressed) segment.
+    pub fn raw(id: SegmentId, timestamp: u64, points: Vec<f64>) -> Self {
+        Self {
+            id,
+            timestamp,
+            data: SegmentData::Raw(points),
+        }
+    }
+
+    /// Create an already-compressed segment.
+    pub fn compressed(id: SegmentId, timestamp: u64, block: CompressedBlock) -> Self {
+        Self {
+            id,
+            timestamp,
+            data: SegmentData::Compressed(block),
+        }
+    }
+
+    /// Number of original data points the segment covers.
+    pub fn n_points(&self) -> usize {
+        match &self.data {
+            SegmentData::Raw(points) => points.len(),
+            SegmentData::Compressed(block) => block.n_points as usize,
+        }
+    }
+
+    /// Bytes this segment currently occupies.
+    pub fn size_bytes(&self) -> usize {
+        match &self.data {
+            SegmentData::Raw(points) => points.len() * POINT_BYTES,
+            SegmentData::Compressed(block) => block.compressed_bytes(),
+        }
+    }
+
+    /// Current compression ratio (1.0 for raw segments).
+    pub fn ratio(&self) -> f64 {
+        match &self.data {
+            SegmentData::Raw(_) => 1.0,
+            SegmentData::Compressed(block) => block.ratio(),
+        }
+    }
+
+    /// Whether the segment still holds raw points.
+    pub fn is_raw(&self) -> bool {
+        matches!(self.data, SegmentData::Raw(_))
+    }
+
+    /// The compressed block, if any.
+    pub fn block(&self) -> Option<&CompressedBlock> {
+        match &self.data {
+            SegmentData::Raw(_) => None,
+            SegmentData::Compressed(block) => Some(block),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaedge_codecs::CodecId;
+
+    #[test]
+    fn raw_segment_accounting() {
+        let s = Segment::raw(SegmentId(1), 0, vec![1.0; 100]);
+        assert_eq!(s.n_points(), 100);
+        assert_eq!(s.size_bytes(), 800);
+        assert_eq!(s.ratio(), 1.0);
+        assert!(s.is_raw());
+        assert!(s.block().is_none());
+    }
+
+    #[test]
+    fn compressed_segment_accounting() {
+        let block = CompressedBlock::new(CodecId::Paa, 100, vec![0u8; 200]);
+        let s = Segment::compressed(SegmentId(2), 5, block);
+        assert_eq!(s.n_points(), 100);
+        assert_eq!(s.size_bytes(), 200);
+        assert!((s.ratio() - 0.25).abs() < 1e-12);
+        assert!(!s.is_raw());
+        assert_eq!(s.block().unwrap().codec, CodecId::Paa);
+    }
+}

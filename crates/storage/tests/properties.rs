@@ -1,0 +1,120 @@
+//! Property-based tests for the segment store: byte accounting stays exact
+//! under arbitrary operation sequences, and the policy's victim list always
+//! matches the live segment set.
+
+use adaedge_codecs::{CodecId, CompressedBlock};
+use adaedge_storage::{SegmentId, SegmentStore};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    PutRaw(usize),
+    PutCompressed(usize),
+    Get(usize),
+    Replace(usize, usize),
+    Remove(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1usize..200).prop_map(Op::PutRaw),
+        (1usize..500).prop_map(Op::PutCompressed),
+        (0usize..32).prop_map(Op::Get),
+        ((0usize..32), (1usize..300)).prop_map(|(i, b)| Op::Replace(i, b)),
+        (0usize..32).prop_map(Op::Remove),
+    ]
+}
+
+fn block(bytes: usize) -> CompressedBlock {
+    CompressedBlock::new(CodecId::Paa, bytes.max(1) * 4, vec![0u8; bytes])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn byte_accounting_is_exact(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let mut store = SegmentStore::unbounded();
+        let mut live: Vec<SegmentId> = Vec::new();
+        for op in ops {
+            match op {
+                Op::PutRaw(n) => {
+                    live.push(store.put_raw(vec![0.5; n]).unwrap());
+                }
+                Op::PutCompressed(bytes) => {
+                    live.push(store.put_compressed(block(bytes)).unwrap());
+                }
+                Op::Get(i) => {
+                    if !live.is_empty() {
+                        let id = live[i % live.len()];
+                        prop_assert!(store.get(id).is_some());
+                    }
+                }
+                Op::Replace(i, bytes) => {
+                    if !live.is_empty() {
+                        let id = live[i % live.len()];
+                        store.replace(id, block(bytes)).unwrap();
+                    }
+                }
+                Op::Remove(i) => {
+                    if !live.is_empty() {
+                        let id = live.remove(i % live.len());
+                        store.remove(id).unwrap();
+                    }
+                }
+            }
+            // Invariant: used_bytes equals the sum over live segments.
+            let expected: usize = live
+                .iter()
+                .map(|&id| store.peek(id).unwrap().size_bytes())
+                .sum();
+            prop_assert_eq!(store.used_bytes(), expected);
+            prop_assert_eq!(store.len(), live.len());
+            // Invariant: the victim list is exactly the live set.
+            let mut victims = store.victim_order();
+            victims.sort();
+            let mut expected_ids = live.clone();
+            expected_ids.sort();
+            prop_assert_eq!(victims, expected_ids);
+        }
+    }
+
+    #[test]
+    fn budget_never_exceeded(
+        puts in prop::collection::vec(1usize..400, 1..40),
+        budget in 500usize..2000,
+    ) {
+        let mut store = SegmentStore::with_budget(budget);
+        for bytes in puts {
+            let _ = store.put_compressed(block(bytes)); // may fail; that's fine
+            prop_assert!(store.used_bytes() <= budget);
+        }
+    }
+
+    #[test]
+    fn persistence_roundtrip_arbitrary_store(
+        blocks in prop::collection::vec((1usize..100, 1usize..64), 0..20),
+    ) {
+        let mut store = SegmentStore::unbounded();
+        for (n, bytes) in blocks {
+            store
+                .put_compressed(CompressedBlock::new(
+                    CodecId::Sprintz,
+                    n,
+                    vec![0xAB; bytes],
+                ))
+                .unwrap();
+        }
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "adaedge-prop-{}-{}.seg",
+            std::process::id(),
+            store.len()
+        ));
+        store.save_to(&path).unwrap();
+        let loaded = SegmentStore::load_from(&path).unwrap();
+        prop_assert_eq!(loaded.len(), store.len());
+        prop_assert_eq!(loaded.used_bytes(), store.used_bytes());
+        std::fs::remove_file(&path).ok();
+    }
+}

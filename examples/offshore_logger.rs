@@ -1,0 +1,89 @@
+//! Offline mode: a disconnected deep-sea logger with a hard storage budget
+//! (§IV-B2). Ingested data keeps "evolving" — old, unqueried segments are
+//! recoded ever more aggressively so nothing is dropped outright.
+//!
+//! A frozen KMeans model supplies the accuracy oracle, as in the paper's
+//! Figures 12–13.
+//!
+//! Run with: `cargo run --release --example offshore_logger`
+
+use adaedge::core::{OfflineAdaEdge, OfflineConfig, OptimizationTarget};
+use adaedge::datasets::{CbfConfig, CbfGenerator, CbfStream, SegmentSource};
+use adaedge::ml::{metrics, Dataset, KMeansConfig, Model};
+
+const SEGMENT: usize = 1024;
+const INSTANCE: usize = 128;
+
+fn main() {
+    // Train the clustering model centrally on raw CBF data, then freeze it.
+    let mut gen = CbfGenerator::new(CbfConfig {
+        seed: 99,
+        ..Default::default()
+    });
+    let (rows, _) = gen.dataset(60);
+    let model = Model::train_kmeans(
+        &Dataset::unlabeled(rows),
+        KMeansConfig {
+            k: 3,
+            ..Default::default()
+        },
+    );
+
+    // 256 KiB budget, recoding at 80% occupancy, LRU sequencing.
+    let budget = 256 * 1024;
+    let mut config = OfflineConfig::new(budget, OptimizationTarget::ml());
+    config.model = Some(model.clone());
+    config.instance_len = INSTANCE;
+    let mut edge = OfflineAdaEdge::new(config).expect("valid offline config");
+
+    let mut stream = CbfStream::new(CbfConfig::default(), SEGMENT);
+    println!(
+        "{:>8} {:>10} {:>8} {:>10} {:>12}",
+        "segment", "util", "recodes", "acc", "greedy arm"
+    );
+    for i in 0..400usize {
+        let segment = stream.next_segment();
+        let report = edge.ingest(&segment).expect("within budget");
+        if i % 50 == 49 {
+            // Evaluate KMeans assignment agreement across the whole store.
+            let mut orig_rows: Vec<Vec<f64>> = Vec::new();
+            let mut lossy_rows: Vec<Vec<f64>> = Vec::new();
+            for (_, rec, orig) in edge.reconstruct_all().expect("reconstructable") {
+                let orig = orig.expect("originals kept");
+                for (o, l) in orig.chunks_exact(INSTANCE).zip(rec.chunks_exact(INSTANCE)) {
+                    orig_rows.push(o.to_vec());
+                    lossy_rows.push(l.to_vec());
+                }
+            }
+            let acc = metrics::ml_accuracy(&model, &orig_rows, &lossy_rows);
+            println!(
+                "{:>8} {:>9.1}% {:>8} {:>10.4} {:>12}",
+                i + 1,
+                report.utilization * 100.0,
+                edge.total_recodes(),
+                acc,
+                edge.greedy_lossless_arm().name(),
+            );
+        }
+    }
+
+    let total_points = 400 * SEGMENT;
+    println!(
+        "\ningested {} points ({} KiB raw) into a {} KiB budget without dropping a segment",
+        total_points,
+        total_points * 8 / 1024,
+        budget / 1024
+    );
+    println!(
+        "store now holds {} segments at ratios from {:.4} to {:.4}",
+        edge.store().len(),
+        edge.store()
+            .iter()
+            .map(|s| s.ratio())
+            .fold(f64::MAX, f64::min),
+        edge.store()
+            .iter()
+            .map(|s| s.ratio())
+            .fold(f64::MIN, f64::max),
+    );
+}

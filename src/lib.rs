@@ -1,0 +1,53 @@
+//! # AdaEdge
+//!
+//! A from-scratch Rust implementation of *AdaEdge: A Dynamic Compression
+//! Selection Framework for Resource Constrained Devices* (ICDE 2024):
+//! multi-armed-bandit-driven lossless + lossy compression selection for
+//! edge time series, under hard ingest-rate / bandwidth / storage
+//! constraints.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`codecs`] — every compression scheme (gzip/zlib/snappy-class byte
+//!   compression, dictionary, RLE, Gorilla, CHIMP, Sprintz, Elf, BUFF;
+//!   tunable lossy PAA/PLA/FFT/BUFF-lossy/RRD/LTTB with virtual-
+//!   decompression recoding and compressed-domain aggregation).
+//! * [`bandit`] — ε-greedy / UCB1 / gradient policies and the
+//!   ratio-banded bandit set.
+//! * [`ml`] — decision tree, random forest, KNN, k-means and the paper's
+//!   accuracy metrics (the frozen-model oracles).
+//! * [`datasets`] — seeded CBF / UCR-like / UCI-like generators and
+//!   streaming segment sources.
+//! * [`storage`] — the byte-accounted segment store, LRU/FIFO/query-count
+//!   recoding policies, and on-disk persistence.
+//! * [`core`] — constraints, optimization targets, the online and offline
+//!   pipelines, baselines and the multithreaded engine.
+//!
+//! ## Example: online mode under a constrained link
+//!
+//! ```
+//! use adaedge::core::{AggKind, Constraints, OnlineAdaEdge, OnlineConfig, OptimizationTarget};
+//! use adaedge::datasets::{CbfConfig, CbfStream, SegmentSource};
+//!
+//! // 100k points/s of doubles through a 1 Mbit/s link → R ≈ 0.156.
+//! let constraints = Constraints::online(100_000.0, 1.0e6, 1024);
+//! let config = OnlineConfig::new(constraints, OptimizationTarget::agg(AggKind::Sum));
+//! let mut edge = OnlineAdaEdge::new(config).unwrap();
+//!
+//! let mut stream = CbfStream::new(CbfConfig::default(), 1024);
+//! for _ in 0..30 {
+//!     let segment = stream.next_segment();
+//!     let outcome = edge.process_segment(&segment).unwrap();
+//!     // Every shipped block fits the link budget.
+//!     assert!(outcome.selection.block.ratio() <= edge.target_ratio() + 1e-9);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use adaedge_bandit as bandit;
+pub use adaedge_codecs as codecs;
+pub use adaedge_core as core;
+pub use adaedge_datasets as datasets;
+pub use adaedge_ml as ml;
+pub use adaedge_storage as storage;

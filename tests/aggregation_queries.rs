@@ -1,0 +1,100 @@
+//! Cross-crate aggregation-query tests: querying the offline store returns
+//! values consistent with the §IV-D2 accuracy definitions, and the
+//! per-codec accuracy ordering claimed by the paper holds on real streams.
+
+use adaedge::codecs::{CodecId, CodecRegistry};
+use adaedge::core::{AggKind, OfflineAdaEdge, OfflineConfig, OptimizationTarget};
+use adaedge::datasets::{CbfConfig, CbfStream, SegmentSource};
+use adaedge::ml::metrics::agg_accuracy;
+
+fn segments(n: usize) -> Vec<Vec<f64>> {
+    let mut s = CbfStream::new(CbfConfig::default(), 1024);
+    (0..n).map(|_| s.next_segment()).collect()
+}
+
+#[test]
+fn paa_beats_pla_on_sum_and_loses_on_max() {
+    // The core codec-vs-query interaction behind Figures 8 and 9.
+    let reg = CodecRegistry::new(4);
+    let paa = reg.get_lossy(CodecId::Paa).unwrap();
+    let pla = reg.get_lossy(CodecId::Pla).unwrap();
+    let mut paa_sum = 0.0;
+    let mut pla_sum = 0.0;
+    let mut paa_max = 0.0;
+    let mut pla_max = 0.0;
+    let segs = segments(20);
+    for seg in &segs {
+        let paa_rec = reg
+            .decompress(&paa.compress_to_ratio(seg, 0.1).unwrap())
+            .unwrap();
+        let pla_rec = reg
+            .decompress(&pla.compress_to_ratio(seg, 0.1).unwrap())
+            .unwrap();
+        paa_sum += agg_accuracy(AggKind::Sum.eval(seg), AggKind::Sum.eval(&paa_rec));
+        pla_sum += agg_accuracy(AggKind::Sum.eval(seg), AggKind::Sum.eval(&pla_rec));
+        paa_max += agg_accuracy(AggKind::Max.eval(seg), AggKind::Max.eval(&paa_rec));
+        pla_max += agg_accuracy(AggKind::Max.eval(seg), AggKind::Max.eval(&pla_rec));
+    }
+    let n = segs.len() as f64;
+    assert!(
+        paa_sum / n > pla_sum / n,
+        "PAA should win SUM: {} vs {}",
+        paa_sum / n,
+        pla_sum / n
+    );
+    assert!(
+        pla_max / n > paa_max / n,
+        "PLA should win MAX: {} vs {}",
+        pla_max / n,
+        paa_max / n
+    );
+}
+
+#[test]
+fn fft_preserves_sum_to_near_machine_precision() {
+    let reg = CodecRegistry::new(4);
+    let fft = reg.get_lossy(CodecId::Fft).unwrap();
+    for seg in segments(10) {
+        let rec = reg
+            .decompress(&fft.compress_to_ratio(&seg, 0.05).unwrap())
+            .unwrap();
+        let acc = agg_accuracy(AggKind::Sum.eval(&seg), AggKind::Sum.eval(&rec));
+        assert!(1.0 - acc < 1e-8, "FFT sum loss {}", 1.0 - acc);
+    }
+}
+
+#[test]
+fn offline_store_queries_remain_accurate_for_sum() {
+    // End-to-end: ingest under pressure with a SUM target, query the whole
+    // store, compare to the true running sum.
+    let mut config = OfflineConfig::new(300_000, OptimizationTarget::agg(AggKind::Sum));
+    config.precision = 4;
+    let mut edge = OfflineAdaEdge::new(config).unwrap();
+    let mut stream = CbfStream::new(CbfConfig::default(), 1024);
+    let mut true_sum = 0.0;
+    let mut ids = Vec::new();
+    for _ in 0..200 {
+        let seg = stream.next_segment();
+        true_sum += AggKind::Sum.eval(&seg);
+        ids.push(edge.ingest(&seg).unwrap().id);
+    }
+    assert!(edge.total_recodes() > 0, "pressure must trigger recoding");
+    let mut lossy_sum = 0.0;
+    for id in ids {
+        lossy_sum += AggKind::Sum.eval(&edge.query_segment(id).unwrap());
+    }
+    let acc = agg_accuracy(true_sum, lossy_sum);
+    // The MAB optimizes SUM accuracy, so the global SUM barely moves even
+    // though the store holds ~4x less than the raw data.
+    assert!(acc > 0.999, "sum accuracy {acc}");
+}
+
+#[test]
+fn avg_and_min_queries_consistent_across_segments() {
+    let segs = segments(5);
+    let flat: Vec<f64> = segs.iter().flatten().copied().collect();
+    let by_seg_avg = AggKind::Avg.eval_segments(segs.iter().map(|s| s.as_slice()));
+    let by_seg_min = AggKind::Min.eval_segments(segs.iter().map(|s| s.as_slice()));
+    assert!((by_seg_avg - AggKind::Avg.eval(&flat)).abs() < 1e-12);
+    assert_eq!(by_seg_min, AggKind::Min.eval(&flat));
+}

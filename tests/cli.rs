@@ -1,0 +1,144 @@
+//! End-to-end tests of the `adaedge` CLI binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_adaedge"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("adaedge-cli-{name}-{}", std::process::id()));
+    p
+}
+
+#[test]
+fn compress_decompress_roundtrip() {
+    let input = tmp("in.txt");
+    let seg = tmp("out.seg");
+    let output = tmp("out.txt");
+    let values: Vec<f64> = (0..3000)
+        .map(|i| ((i as f64 * 0.01).sin() * 1e4).round() / 1e4)
+        .collect();
+    let text: String = values.iter().map(|v| format!("{v}\n")).collect();
+    std::fs::write(&input, text).unwrap();
+
+    let status = bin()
+        .args(["compress", "--input"])
+        .arg(&input)
+        .arg("--output")
+        .arg(&seg)
+        .args(["--precision", "4"])
+        .status()
+        .unwrap();
+    assert!(status.success());
+    assert!(seg.exists());
+
+    let status = bin()
+        .args(["decompress", "--input"])
+        .arg(&seg)
+        .arg("--output")
+        .arg(&output)
+        .args(["--precision", "4"])
+        .status()
+        .unwrap();
+    assert!(status.success());
+
+    let restored: Vec<f64> = std::fs::read_to_string(&output)
+        .unwrap()
+        .lines()
+        .map(|l| l.parse().unwrap())
+        .collect();
+    assert_eq!(restored.len(), values.len());
+    for (a, b) in values.iter().zip(&restored) {
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+    for p in [input, seg, output] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn fixed_lossy_codec_respects_ratio() {
+    let input = tmp("lossy-in.txt");
+    let seg = tmp("lossy.seg");
+    let values: Vec<f64> = (0..2048).map(|i| (i as f64 * 0.005).sin() * 3.0).collect();
+    std::fs::write(
+        &input,
+        values.iter().map(|v| format!("{v}\n")).collect::<String>(),
+    )
+    .unwrap();
+    let out = bin()
+        .args(["compress", "--input"])
+        .arg(&input)
+        .arg("--output")
+        .arg(&seg)
+        .args(["--codec", "paa", "--ratio", "0.1"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("paa"), "stdout: {stdout}");
+    // 2048 values × 8 bytes = 16384 raw; ratio 0.1 → ≤ ~1700 bytes + file header.
+    let file_len = std::fs::metadata(&seg).unwrap().len();
+    assert!(file_len < 2300, "compressed file too big: {file_len}");
+    for p in [input, seg] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn online_command_reports_stats() {
+    let out = bin()
+        .args(["online", "--segments", "20", "--target", "sum"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("target ratio"));
+    assert!(stdout.contains("egress ratio"));
+}
+
+#[test]
+fn offline_command_reports_utilization() {
+    let out = bin()
+        .args(["offline", "--segments", "60", "--budget", "200000"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("utilization"));
+    assert!(stdout.contains("recodes"));
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let out = bin().args(["compress"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--input is required"));
+
+    let out = bin().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+
+    let out = bin()
+        .args(["online", "--target", "median"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = bin().args(["help"]).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}

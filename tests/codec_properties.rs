@@ -1,0 +1,107 @@
+//! Property-based tests over the codec layer: lossless roundtrips,
+//! lossy ratio compliance, and recoding invariants, driven by proptest.
+
+use adaedge::codecs::{util, CodecId, CodecRegistry};
+use proptest::prelude::*;
+
+/// Arbitrary finite, moderately sized signal values at 4-digit precision.
+fn signal(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1000.0f64..1000.0, 1..max_len).prop_map(|mut v| {
+        for x in v.iter_mut() {
+            *x = util::round_to_precision(*x, 4);
+        }
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lossless_arms_roundtrip(data in signal(600)) {
+        let reg = CodecRegistry::new(4);
+        for id in CodecRegistry::extended_lossless_candidates() {
+            let block = reg.get(id).compress(&data).unwrap();
+            let back = reg.decompress(&block).unwrap();
+            prop_assert_eq!(back.len(), data.len());
+            for (a, b) in data.iter().zip(&back) {
+                prop_assert!((a - b).abs() < 1e-9, "{}: {} vs {}", id, a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn lossy_arms_respect_ratio(data in signal(600), ratio in 0.02f64..1.0) {
+        let reg = CodecRegistry::new(4);
+        for id in CodecRegistry::lossy_candidates() {
+            let lossy = reg.get_lossy(id).unwrap();
+            match lossy.compress_to_ratio(&data, ratio) {
+                Ok(block) => {
+                    prop_assert!(
+                        block.ratio() <= ratio + 1e-9,
+                        "{}: {} > {}", id, block.ratio(), ratio
+                    );
+                    let back = reg.decompress(&block).unwrap();
+                    prop_assert_eq!(back.len(), data.len());
+                    for v in back {
+                        prop_assert!(v.is_finite());
+                    }
+                }
+                Err(adaedge::codecs::CodecError::RatioUnreachable { minimum, .. }) => {
+                    // The floor must actually be above the request.
+                    prop_assert!(minimum > ratio);
+                }
+                Err(e) => return Err(TestCaseError::fail(format!("{id}: {e}"))),
+            }
+        }
+    }
+
+    #[test]
+    fn recode_tightens_every_codec(data in signal(600)) {
+        let reg = CodecRegistry::new(4);
+        let n = data.len();
+        for id in CodecRegistry::lossy_candidates() {
+            let lossy = reg.get_lossy(id).unwrap();
+            let start = 0.5f64;
+            let target = 0.2f64;
+            if lossy.min_ratio(n) > target {
+                continue; // too short a segment for this codec's floor
+            }
+            let Ok(block) = lossy.compress_to_ratio(&data, start) else { continue };
+            if block.ratio() <= target {
+                continue; // already below: nothing to recode
+            }
+            let recoded = reg.recode(&block, target).unwrap();
+            prop_assert!(recoded.ratio() <= target + 1e-9, "{}", id);
+            prop_assert_eq!(recoded.n_points, block.n_points);
+            let back = reg.decompress(&recoded).unwrap();
+            prop_assert_eq!(back.len(), n);
+        }
+    }
+
+    #[test]
+    fn quantize_dequantize_is_identity_at_precision(
+        data in prop::collection::vec(-1e6f64..1e6, 1..200),
+        precision in 0u8..7
+    ) {
+        let rounded: Vec<f64> = data
+            .iter()
+            .map(|&v| util::round_to_precision(v, precision))
+            .collect();
+        let q = util::quantize(&rounded, precision).unwrap();
+        let back = util::dequantize(&q, precision).unwrap();
+        for (a, b) in rounded.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn compressed_block_serde_roundtrip(data in signal(200)) {
+        let reg = CodecRegistry::new(4);
+        let block = reg.get(CodecId::Sprintz).compress(&data).unwrap();
+        let json = serde_json::to_string(&block).unwrap();
+        let back: adaedge::codecs::CompressedBlock = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&back, &block);
+        prop_assert_eq!(reg.decompress(&back).unwrap().len(), data.len());
+    }
+}

@@ -1,0 +1,103 @@
+//! Robustness against corrupt inputs: feeding arbitrary bytes, truncated
+//! payloads and bit-flipped payloads to every decoder must return an error
+//! or a (harmless) wrong decode — never panic. An edge device decoding
+//! from flaky storage cannot afford to crash.
+
+use adaedge::codecs::{CodecId, CodecRegistry, CompressedBlock};
+use proptest::prelude::*;
+
+fn smooth(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i as f64 * 0.013).sin() * 3.0 * 1e4).round() / 1e4)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+        n_points in 0u32..4096,
+    ) {
+        let reg = CodecRegistry::new(4);
+        for codec in CodecId::ALL {
+            let block = CompressedBlock {
+                codec,
+                n_points,
+                payload: payload.clone(),
+            };
+            // Err or Ok are both acceptable; panics are not.
+            let _ = reg.decompress(&block);
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_panic(
+        flip_byte in 0usize..10_000,
+        flip_bit in 0u8..8,
+    ) {
+        let reg = CodecRegistry::new(4);
+        let data = smooth(300);
+        for codec in CodecId::ALL {
+            let block = match reg.get(codec) {
+                c if c.kind() == adaedge::codecs::CodecKind::Lossless => {
+                    c.compress(&data).unwrap()
+                }
+                _ => match reg.get_lossy(codec) {
+                    Some(l) => match l.compress_to_ratio(&data, 0.3) {
+                        Ok(b) => b,
+                        Err(_) => continue,
+                    },
+                    None => continue,
+                },
+            };
+            let mut corrupted = block.clone();
+            if corrupted.payload.is_empty() {
+                continue;
+            }
+            let idx = flip_byte % corrupted.payload.len();
+            corrupted.payload[idx] ^= 1 << flip_bit;
+            let _ = reg.decompress(&corrupted);
+        }
+    }
+
+    #[test]
+    fn truncations_never_panic(cut in 0usize..10_000) {
+        let reg = CodecRegistry::new(4);
+        let data = smooth(300);
+        for codec in CodecId::ALL {
+            let block = match reg.get_lossy(codec) {
+                Some(l) => match l.compress_to_ratio(&data, 0.3) {
+                    Ok(b) => b,
+                    Err(_) => continue,
+                },
+                None => match reg.get(codec).compress(&data) {
+                    Ok(b) => b,
+                    Err(_) => continue,
+                },
+            };
+            let mut corrupted = block.clone();
+            let new_len = cut % (corrupted.payload.len() + 1);
+            corrupted.payload.truncate(new_len);
+            let _ = reg.decompress(&corrupted);
+        }
+    }
+
+    #[test]
+    fn recode_on_corrupt_blocks_never_panics(
+        payload in prop::collection::vec(any::<u8>(), 0..256),
+        n_points in 1u32..2048,
+        ratio in 0.01f64..0.9,
+    ) {
+        let reg = CodecRegistry::new(4);
+        for codec in [CodecId::Paa, CodecId::Pla, CodecId::Fft, CodecId::BuffLossy, CodecId::RrdSample, CodecId::Lttb] {
+            let block = CompressedBlock {
+                codec,
+                n_points,
+                payload: payload.clone(),
+            };
+            let _ = reg.recode(&block, ratio);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! End-to-end online-mode tests across crates: datasets → core → codecs →
+//! ml, checking the headline behaviours the paper claims.
+
+use adaedge::core::{
+    AggKind, Constraints, OnlineAdaEdge, OnlineConfig, OptimizationTarget, Path, RewardEvaluator,
+    TargetComponent,
+};
+use adaedge::datasets::{CbfConfig, CbfGenerator, CbfStream, SegmentSource};
+use adaedge::ml::{Dataset, Model, TreeConfig};
+
+const SEGMENT: usize = 1024;
+const INSTANCE: usize = 128;
+
+fn constraints_for_ratio(ratio: f64) -> Constraints {
+    Constraints::online(100_000.0, ratio * 64.0 * 100_000.0, SEGMENT)
+}
+
+fn frozen_dtree() -> Model {
+    let mut gen = CbfGenerator::new(CbfConfig {
+        seed: 17,
+        ..Default::default()
+    });
+    let (rows, labels) = gen.dataset(40);
+    Model::train_dtree(&Dataset::new(rows, labels), TreeConfig::default())
+}
+
+#[test]
+fn ml_target_online_pipeline_keeps_accuracy_high() {
+    let model = frozen_dtree();
+    let mut config = OnlineConfig::new(constraints_for_ratio(0.15), OptimizationTarget::ml());
+    config.model = Some(model.clone());
+    config.instance_len = INSTANCE;
+    let mut edge = OnlineAdaEdge::new(config).unwrap();
+    let mut stream = CbfStream::new(CbfConfig::default(), SEGMENT);
+
+    let eval = RewardEvaluator::new(OptimizationTarget::ml(), Some(model), INSTANCE);
+    let mut accs = Vec::new();
+    for _ in 0..60 {
+        let segment = stream.next_segment();
+        let out = edge.process_segment(&segment).unwrap();
+        assert!(out.selection.block.ratio() <= 0.15 + 1e-9);
+        let rec = edge.registry().decompress(&out.selection.block).unwrap();
+        accs.push(eval.ml_accuracy(&segment, &rec));
+    }
+    // Late-phase accuracy (post-MAB-warmup) should be high at ratio 0.15.
+    let late = &accs[30..];
+    let mean = late.iter().sum::<f64>() / late.len() as f64;
+    assert!(mean > 0.85, "late-phase ML accuracy {mean}");
+}
+
+#[test]
+fn lossless_region_has_zero_loss() {
+    // At a generous ratio the pipeline stays lossless and reconstruction is
+    // exact at dataset precision — the "zero accuracy loss" region of Fig 7.
+    let mut config = OnlineConfig::new(
+        constraints_for_ratio(0.5),
+        OptimizationTarget::agg(AggKind::Sum),
+    );
+    config.precision = 4;
+    let mut edge = OnlineAdaEdge::new(config).unwrap();
+    let mut stream = CbfStream::new(CbfConfig::default(), SEGMENT);
+    for i in 0..30 {
+        let segment = stream.next_segment();
+        let out = edge.process_segment(&segment).unwrap();
+        if i >= 15 {
+            assert_eq!(out.path, Path::Lossless, "segment {i}");
+            let rec = edge.registry().decompress(&out.selection.block).unwrap();
+            let sum_orig: f64 = segment.iter().sum();
+            let sum_rec: f64 = rec.iter().sum();
+            assert!((sum_orig - sum_rec).abs() < 1e-6);
+        }
+    }
+}
+
+#[test]
+fn complex_target_weights_are_honoured() {
+    // w1·AccSum + w2·AccML (Figure 10's weighting).
+    let model = frozen_dtree();
+    let target = OptimizationTarget::complex(vec![
+        (0.625, TargetComponent::AggAccuracy(AggKind::Sum)),
+        (0.375, TargetComponent::MlAccuracy),
+    ]);
+    let mut config = OnlineConfig::new(constraints_for_ratio(0.1), target);
+    config.model = Some(model);
+    config.instance_len = INSTANCE;
+    let mut edge = OnlineAdaEdge::new(config).unwrap();
+    let mut stream = CbfStream::new(CbfConfig::default(), SEGMENT);
+    let mut rewards = Vec::new();
+    for _ in 0..50 {
+        let segment = stream.next_segment();
+        let out = edge.process_segment(&segment).unwrap();
+        if out.path == Path::Lossy {
+            rewards.push(out.selection.reward);
+        }
+    }
+    assert!(!rewards.is_empty());
+    let late_mean = rewards[rewards.len() / 2..].iter().sum::<f64>()
+        / (rewards.len() - rewards.len() / 2) as f64;
+    assert!(late_mean > 0.8, "complex-target reward {late_mean}");
+}
+
+#[test]
+fn bandwidth_accounting_respects_link() {
+    let mut config = OnlineConfig::new(
+        constraints_for_ratio(0.1),
+        OptimizationTarget::agg(AggKind::Sum),
+    );
+    config.precision = 4;
+    let mut edge = OnlineAdaEdge::new(config).unwrap();
+    let mut stream = CbfStream::new(CbfConfig::default(), SEGMENT);
+    for _ in 0..60 {
+        let segment = stream.next_segment();
+        edge.process_segment(&segment).unwrap();
+    }
+    let stats = edge.stats();
+    // After warm-up the shipped volume must sit well under the raw volume;
+    // allow slack for the initial lossless probes.
+    assert!(
+        (stats.bytes_out as f64) < 0.25 * stats.bytes_in as f64,
+        "egress {} of {}",
+        stats.bytes_out,
+        stats.bytes_in
+    );
+    assert_eq!(stats.segments, 60);
+    assert_eq!(
+        stats.lossless_segments + stats.lossy_segments,
+        stats.segments
+    );
+}

@@ -1,0 +1,106 @@
+//! The ModelarDB-style error-bounded interface: every reconstructed point
+//! must deviate from its original by at most the requested bound.
+
+use adaedge::codecs::{CodecId, CodecRegistry};
+use proptest::prelude::*;
+
+fn max_abs_dev(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+fn smooth(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i as f64 * 0.021).sin() * 4.0 * 1e4).round() / 1e4)
+        .collect()
+}
+
+const BOUNDED: [CodecId; 3] = [CodecId::Paa, CodecId::Pla, CodecId::BuffLossy];
+
+#[test]
+fn bound_holds_for_all_supporting_codecs() {
+    let reg = CodecRegistry::new(4);
+    let data = smooth(1000);
+    for id in BOUNDED {
+        let lossy = reg.get_lossy(id).unwrap();
+        for eps in [1.0, 0.25, 0.05, 0.01] {
+            let block = lossy.compress_with_error_bound(&data, eps).unwrap();
+            let rec = reg.decompress(&block).unwrap();
+            let dev = max_abs_dev(&data, &rec);
+            assert!(dev <= eps + 1e-9, "{id} eps={eps}: max dev {dev}");
+        }
+    }
+}
+
+#[test]
+fn tighter_bounds_cost_more_space() {
+    let reg = CodecRegistry::new(4);
+    let data = smooth(1000);
+    for id in BOUNDED {
+        let lossy = reg.get_lossy(id).unwrap();
+        let loose = lossy.compress_with_error_bound(&data, 1.0).unwrap();
+        let tight = lossy.compress_with_error_bound(&data, 0.01).unwrap();
+        assert!(
+            tight.compressed_bytes() >= loose.compressed_bytes(),
+            "{id}: tight {} < loose {}",
+            tight.compressed_bytes(),
+            loose.compressed_bytes()
+        );
+    }
+}
+
+#[test]
+fn unsupported_codecs_report_cleanly() {
+    let reg = CodecRegistry::new(4);
+    let data = smooth(100);
+    for id in [CodecId::Fft, CodecId::RrdSample, CodecId::Lttb] {
+        let err = reg
+            .get_lossy(id)
+            .unwrap()
+            .compress_with_error_bound(&data, 0.1)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            adaedge::codecs::CodecError::RecodeUnsupported(_)
+        ));
+    }
+}
+
+#[test]
+fn invalid_bounds_rejected() {
+    let reg = CodecRegistry::new(4);
+    let data = smooth(50);
+    for id in BOUNDED {
+        let lossy = reg.get_lossy(id).unwrap();
+        assert!(lossy.compress_with_error_bound(&data, 0.0).is_err());
+        assert!(lossy.compress_with_error_bound(&data, -1.0).is_err());
+        assert!(lossy.compress_with_error_bound(&[], 0.1).is_err());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn bound_holds_on_arbitrary_signals(
+        data in prop::collection::vec(-100.0f64..100.0, 2..400),
+        eps in 0.01f64..2.0,
+    ) {
+        let data: Vec<f64> = data
+            .iter()
+            .map(|v| (v * 1e4).round() / 1e4)
+            .collect();
+        let reg = CodecRegistry::new(4);
+        for id in BOUNDED {
+            let lossy = reg.get_lossy(id).unwrap();
+            let block = lossy.compress_with_error_bound(&data, eps).unwrap();
+            let rec = reg.decompress(&block).unwrap();
+            prop_assert!(
+                max_abs_dev(&data, &rec) <= eps + 1e-9,
+                "{}: dev {} > {}", id, max_abs_dev(&data, &rec), eps
+            );
+        }
+    }
+}
