@@ -1,0 +1,145 @@
+//! Bit I/O micro-benchmarks: fixed-width pack/unpack throughput at the
+//! widths that dominate codec inner loops (Sprintz delta lanes, BUFF
+//! subcolumns, dictionary codes). `*_scalar` drives the per-value
+//! `write_bits` / `read_bits` path; `*_run` drives the bulk
+//! `write_run` / `read_run` kernels. Throughput is reported over the
+//! unpacked side (8 bytes per value), so a GB/s figure means "u64 lanes
+//! processed per second" at every width.
+
+use adaedge_codecs::bitio::{BitReader, BitWriter};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+const N: usize = 16 * 1024;
+const WIDTHS: [u32; 8] = [1, 4, 7, 8, 12, 16, 32, 64];
+
+fn values(width: u32) -> Vec<u64> {
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+    (0..N)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            state & mask
+        })
+        .collect()
+}
+
+fn packed(width: u32) -> Vec<u8> {
+    let vals = values(width);
+    let mut w = BitWriter::with_capacity(N * width as usize / 8 + 8);
+    for &v in &vals {
+        w.write_bits(v, width);
+    }
+    w.finish()
+}
+
+fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut group = c.benchmark_group("bitio");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(400));
+    group
+}
+
+fn bench_pack_scalar(c: &mut Criterion) {
+    let mut group = quick(c);
+    group.throughput(Throughput::Bytes((N * 8) as u64));
+    for width in WIDTHS {
+        let vals = values(width);
+        group.bench_with_input(
+            BenchmarkId::new("pack_scalar", format!("w{width}")),
+            &vals,
+            |b, vals| {
+                b.iter(|| {
+                    let mut w = BitWriter::with_capacity(N * width as usize / 8 + 8);
+                    for &v in vals {
+                        w.write_bits(v, width);
+                    }
+                    black_box(w.finish())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_unpack_scalar(c: &mut Criterion) {
+    let mut group = quick(c);
+    group.throughput(Throughput::Bytes((N * 8) as u64));
+    for width in WIDTHS {
+        let bytes = packed(width);
+        group.bench_with_input(
+            BenchmarkId::new("unpack_scalar", format!("w{width}")),
+            &bytes,
+            |b, bytes| {
+                b.iter(|| {
+                    let mut r = BitReader::new(bytes);
+                    let mut acc = 0u64;
+                    for _ in 0..N {
+                        acc = acc.wrapping_add(r.read_bits(width).unwrap());
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_pack_run(c: &mut Criterion) {
+    let mut group = quick(c);
+    group.throughput(Throughput::Bytes((N * 8) as u64));
+    for width in WIDTHS {
+        let vals = values(width);
+        group.bench_with_input(
+            BenchmarkId::new("pack_run", format!("w{width}")),
+            &vals,
+            |b, vals| {
+                b.iter(|| {
+                    let mut w = BitWriter::with_capacity(N * width as usize / 8 + 8);
+                    w.write_run(vals, width);
+                    black_box(w.finish())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_unpack_run(c: &mut Criterion) {
+    let mut group = quick(c);
+    group.throughput(Throughput::Bytes((N * 8) as u64));
+    for width in WIDTHS {
+        let bytes = packed(width);
+        group.bench_with_input(
+            BenchmarkId::new("unpack_run", format!("w{width}")),
+            &bytes,
+            |b, bytes| {
+                let mut out = vec![0u64; N];
+                b.iter(|| {
+                    let mut r = BitReader::new(bytes);
+                    r.read_run(&mut out, width).unwrap();
+                    black_box(out.last().copied())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pack_scalar,
+    bench_unpack_scalar,
+    bench_pack_run,
+    bench_unpack_run
+);
+criterion_main!(benches);

@@ -1,17 +1,50 @@
 //! MSB-first bit-level reader and writer used by the bit-oriented codecs
 //! (Gorilla, Chimp, Sprintz, BUFF, dictionary, DEFLATE-style Huffman coding).
 //!
-//! Bits are packed most-significant-bit first within each byte, so the first
-//! bit written lands in bit 7 of byte 0. This matches the conventional layout
-//! used by Gorilla-style time-series codecs and makes hex dumps readable.
+//! # Wire-format invariant
+//!
+//! Bits are packed most-significant-bit first within each byte: the first
+//! bit written lands in bit 7 of byte 0, the ninth in bit 7 of byte 1, and a
+//! `write_bits(v, n)` emits the low `n` bits of `v` from most to least
+//! significant. This layout matches the conventional Gorilla-style
+//! time-series format, makes hex dumps readable, and is **frozen**: payloads
+//! are persisted and shipped between devices, so any change to this module
+//! must keep the produced bytes identical (see
+//! `tests/golden_wire_format.rs`, which pins scripted sequences and every
+//! codec's output against fixtures captured from the original
+//! byte-at-a-time implementation).
+//!
+//! # Implementation
+//!
+//! Both directions work a word at a time rather than a byte at a time:
+//!
+//! * [`BitWriter`] stages bits in the high end of a `u64` accumulator and
+//!   flushes eight bytes at once via `to_be_bytes` when the word fills, so a
+//!   `write_bits` is one shift/or pair on the hot path instead of a per-byte
+//!   loop.
+//! * [`BitReader`] loads an eight-byte window with `u64::from_be_bytes` at
+//!   the current cursor and extracts a field as `(word << offset) >>
+//!   (64 - nbits)`; only reads within eight bytes of the end of the buffer
+//!   fall back to assembling a partial window.
+//!
+//! # Bulk kernels
+//!
+//! Fixed-width runs — the inner loops of Sprintz delta lanes, BUFF
+//! subcolumns, and dictionary codes — should use [`BitWriter::write_run`] /
+//! [`BitReader::read_run`]. They produce bit-identical output to the
+//! equivalent per-value `write_bits` / `read_bits` loop, keep the
+//! accumulator in registers across the whole slice, and drop to a plain
+//! byte-copy loop when both the cursor and the width are byte-aligned
+//! (`width % 8 == 0`).
 
 /// Append-only bit writer over a growable byte buffer.
 #[derive(Debug, Default, Clone)]
 pub struct BitWriter {
     buf: Vec<u8>,
-    /// Number of valid bits in `acc` (0..=7). Bits live in the high end.
+    /// Staging word; bits occupy the high end (MSB-first).
+    acc: u64,
+    /// Number of valid bits in `acc` (0..=63 between calls).
     nacc: u32,
-    acc: u8,
 }
 
 impl BitWriter {
@@ -24,20 +57,40 @@ impl BitWriter {
     pub fn with_capacity(bytes: usize) -> Self {
         Self {
             buf: Vec::with_capacity(bytes),
-            nacc: 0,
             acc: 0,
+            nacc: 0,
         }
     }
 
-    /// Write a single bit (the low bit of `bit`).
+    #[inline]
+    fn flush_word(&mut self) {
+        self.buf.extend_from_slice(&self.acc.to_be_bytes());
+        self.acc = 0;
+        self.nacc = 0;
+    }
+
+    /// Push every whole staged byte into `buf`. Leaves `nacc < 8`.
+    fn spill_whole_bytes(&mut self) {
+        let nbytes = (self.nacc / 8) as usize;
+        if nbytes > 0 {
+            self.buf
+                .extend_from_slice(&self.acc.to_be_bytes()[..nbytes]);
+            self.acc = if nbytes == 8 {
+                0
+            } else {
+                self.acc << (nbytes * 8)
+            };
+            self.nacc -= (nbytes as u32) * 8;
+        }
+    }
+
+    /// Write a single bit.
     #[inline]
     pub fn write_bit(&mut self, bit: bool) {
-        self.acc |= (bit as u8) << (7 - self.nacc);
+        self.acc |= (bit as u64) << (63 - self.nacc);
         self.nacc += 1;
-        if self.nacc == 8 {
-            self.buf.push(self.acc);
-            self.acc = 0;
-            self.nacc = 0;
+        if self.nacc == 64 {
+            self.flush_word();
         }
     }
 
@@ -50,36 +103,89 @@ impl BitWriter {
         if nbits == 0 {
             return;
         }
-        let mut remaining = nbits;
         // Mask the value to the requested width to tolerate dirty high bits.
         let value = if nbits == 64 {
             value
         } else {
             value & ((1u64 << nbits) - 1)
         };
-        while remaining > 0 {
-            let free = 8 - self.nacc;
-            let take = free.min(remaining);
-            let shift = remaining - take;
-            let chunk = ((value >> shift) & ((1u64 << take) - 1)) as u8;
-            self.acc |= chunk << (free - take);
-            self.nacc += take;
-            remaining -= take;
-            if self.nacc == 8 {
-                self.buf.push(self.acc);
-                self.acc = 0;
-                self.nacc = 0;
+        if self.nacc + nbits <= 64 {
+            self.acc |= value << (64 - self.nacc - nbits);
+            self.nacc += nbits;
+            if self.nacc == 64 {
+                self.flush_word();
+            }
+        } else {
+            // Split: the high part fills the staging word, the low `rem`
+            // bits start the next one.
+            let rem = self.nacc + nbits - 64;
+            let acc = self.acc | (value >> rem);
+            self.buf.extend_from_slice(&acc.to_be_bytes());
+            self.acc = value << (64 - rem);
+            self.nacc = rem;
+        }
+    }
+
+    /// Write every value in `values` at the same fixed `width`.
+    ///
+    /// Bit-identical to calling [`write_bits`](Self::write_bits) once per
+    /// value, but keeps the accumulator in registers across the run and
+    /// degenerates to a byte-copy loop when the cursor and width are both
+    /// byte-aligned.
+    pub fn write_run(&mut self, values: &[u64], width: u32) {
+        debug_assert!(width <= 64);
+        if width == 0 || values.is_empty() {
+            return;
+        }
+        self.buf
+            .reserve((values.len() * width as usize).div_ceil(8) + 8);
+        // Byte-copy fast path for whole-byte values at a byte-aligned
+        // cursor. Only widths 8 and 64 take it: in-between widths (16..56)
+        // pay more in short-slice copies than the accumulator path costs.
+        if self.nacc.is_multiple_of(8) && (width == 8 || width == 64) {
+            self.spill_whole_bytes();
+            if width == 8 {
+                self.buf.extend(values.iter().map(|&v| v as u8));
+            } else {
+                for &v in values {
+                    self.buf.extend_from_slice(&v.to_be_bytes());
+                }
+            }
+            return;
+        }
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        let mut acc = self.acc;
+        let mut nacc = self.nacc;
+        for &raw in values {
+            let v = raw & mask;
+            if nacc + width <= 64 {
+                acc |= v << (64 - nacc - width);
+                nacc += width;
+                if nacc == 64 {
+                    self.buf.extend_from_slice(&acc.to_be_bytes());
+                    acc = 0;
+                    nacc = 0;
+                }
+            } else {
+                let rem = nacc + width - 64;
+                self.buf
+                    .extend_from_slice(&(acc | (v >> rem)).to_be_bytes());
+                acc = v << (64 - rem);
+                nacc = rem;
             }
         }
+        self.acc = acc;
+        self.nacc = nacc;
     }
 
     /// Pad with zero bits to the next byte boundary.
     pub fn align_to_byte(&mut self) {
-        if self.nacc > 0 {
-            self.buf.push(self.acc);
-            self.acc = 0;
-            self.nacc = 0;
-        }
+        self.nacc = (self.nacc + 7) & !7;
+        self.spill_whole_bytes();
     }
 
     /// Write a full byte slice. Aligns to a byte boundary first.
@@ -95,7 +201,7 @@ impl BitWriter {
 
     /// Current output length in bytes, counting any partial byte.
     pub fn byte_len(&self) -> usize {
-        self.buf.len() + usize::from(self.nacc > 0)
+        self.buf.len() + (self.nacc as usize).div_ceil(8)
     }
 
     /// Finish writing and return the packed bytes (zero-padded to a byte).
@@ -153,6 +259,39 @@ impl<'a> BitReader<'a> {
         Ok(bit == 1)
     }
 
+    /// Extract `nbits` (1..=64) at the current cursor. Caller must have
+    /// checked `remaining() >= nbits`.
+    #[inline]
+    fn extract_unchecked(&mut self, nbits: u32) -> u64 {
+        let byte_idx = self.pos / 8;
+        let offset = (self.pos % 8) as u32;
+        let out = if byte_idx + 8 <= self.buf.len() {
+            let word = u64::from_be_bytes(self.buf[byte_idx..byte_idx + 8].try_into().unwrap());
+            if offset + nbits <= 64 {
+                (word << offset) >> (64 - nbits)
+            } else {
+                // Spill into the ninth byte: only possible when
+                // offset + nbits > 64, i.e. nbits >= 58, so at most 7 low
+                // bits come from the next byte.
+                let lo_bits = offset + nbits - 64;
+                let hi = (word << offset) >> offset;
+                let next = self.buf[byte_idx + 8] as u64;
+                (hi << lo_bits) | (next >> (8 - lo_bits))
+            }
+        } else {
+            // Within eight bytes of the end: assemble the remaining bytes
+            // into a partial window. The caller's bounds check guarantees
+            // offset + nbits fits in it.
+            let mut word = 0u64;
+            for (i, &b) in self.buf[byte_idx..].iter().enumerate() {
+                word |= (b as u64) << (56 - 8 * i);
+            }
+            (word << offset) >> (64 - nbits)
+        };
+        self.pos += nbits as usize;
+        out
+    }
+
     /// Read `nbits` bits (0..=64), returning them in the low bits of the
     /// result, most significant first.
     #[inline]
@@ -164,19 +303,46 @@ impl<'a> BitReader<'a> {
         if self.remaining() < nbits as usize {
             return Err(OutOfBits);
         }
-        let mut out: u64 = 0;
-        let mut remaining = nbits;
-        while remaining > 0 {
-            let byte = self.buf[self.pos / 8];
-            let offset = (self.pos % 8) as u32;
-            let avail = 8 - offset;
-            let take = avail.min(remaining);
-            let chunk = ((byte >> (avail - take)) & ((1u16 << take) - 1) as u8) as u64;
-            out = (out << take) | chunk;
-            self.pos += take as usize;
-            remaining -= take;
+        Ok(self.extract_unchecked(nbits))
+    }
+
+    /// Fill `out` with consecutive values of the same fixed `width`.
+    ///
+    /// Bit-identical to calling [`read_bits`](Self::read_bits) once per
+    /// slot, with one bounds check for the whole run and a byte-copy loop
+    /// when the cursor and width are both byte-aligned. On `Err` the cursor
+    /// is unchanged and `out` is unmodified.
+    pub fn read_run(&mut self, out: &mut [u64], width: u32) -> Result<(), OutOfBits> {
+        debug_assert!(width <= 64);
+        if width == 0 {
+            out.fill(0);
+            return Ok(());
         }
-        Ok(out)
+        if self.remaining() < out.len() * width as usize {
+            return Err(OutOfBits);
+        }
+        // Byte-copy fast path, mirroring `BitWriter::write_run`: only
+        // widths 8 and 64 beat the windowed-extract path below.
+        if self.pos.is_multiple_of(8) && (width == 8 || width == 64) {
+            let mut idx = self.pos / 8;
+            if width == 8 {
+                for (slot, &b) in out.iter_mut().zip(&self.buf[idx..]) {
+                    *slot = b as u64;
+                }
+                idx += out.len();
+            } else {
+                for slot in out.iter_mut() {
+                    *slot = u64::from_be_bytes(self.buf[idx..idx + 8].try_into().unwrap());
+                    idx += 8;
+                }
+            }
+            self.pos = idx * 8;
+            return Ok(());
+        }
+        for slot in out.iter_mut() {
+            *slot = self.extract_unchecked(width);
+        }
+        Ok(())
     }
 
     /// Skip forward to the next byte boundary.
@@ -309,5 +475,89 @@ mod tests {
         assert_eq!(bits_needed(255), 8);
         assert_eq!(bits_needed(256), 9);
         assert_eq!(bits_needed(u64::MAX), 64);
+    }
+
+    #[test]
+    fn write_run_matches_scalar_writes() {
+        for width in 0..=64u32 {
+            for lead in 0..8u32 {
+                let values: Vec<u64> = (0..37)
+                    .map(|i| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                    .collect();
+                let mut bulk = BitWriter::new();
+                bulk.write_bits(0x2A, lead);
+                bulk.write_run(&values, width);
+                let mut scalar = BitWriter::new();
+                scalar.write_bits(0x2A, lead);
+                for &v in &values {
+                    scalar.write_bits(v, width);
+                }
+                assert_eq!(bulk.finish(), scalar.finish(), "width {width} lead {lead}");
+            }
+        }
+    }
+
+    #[test]
+    fn read_run_matches_scalar_reads() {
+        for width in 0..=64u32 {
+            for lead in 0..8u32 {
+                let values: Vec<u64> = (0..37)
+                    .map(|i| (i as u64).wrapping_mul(0xD134_2543_DE82_EF95))
+                    .collect();
+                let mut w = BitWriter::new();
+                w.write_bits(0, lead);
+                w.write_run(&values, width);
+                let bytes = w.finish();
+
+                let mut scalar = BitReader::new(&bytes);
+                scalar.read_bits(lead).unwrap();
+                let expected: Vec<u64> = (0..values.len())
+                    .map(|_| scalar.read_bits(width).unwrap())
+                    .collect();
+
+                let mut bulk = BitReader::new(&bytes);
+                bulk.read_bits(lead).unwrap();
+                let mut got = vec![0u64; values.len()];
+                bulk.read_run(&mut got, width).unwrap();
+                assert_eq!(got, expected, "width {width} lead {lead}");
+                assert_eq!(bulk.bit_pos(), scalar.bit_pos());
+            }
+        }
+    }
+
+    #[test]
+    fn read_run_out_of_bits_leaves_cursor() {
+        let bytes = [0xFFu8; 4];
+        let mut r = BitReader::new(&bytes);
+        r.read_bits(3).unwrap();
+        let mut out = vec![0u64; 5];
+        assert_eq!(r.read_run(&mut out, 7), Err(OutOfBits));
+        assert_eq!(r.bit_pos(), 3);
+        let mut out = vec![0u64; 4];
+        r.read_run(&mut out, 7).unwrap();
+        assert_eq!(out, vec![0x7F; 4]);
+    }
+
+    #[test]
+    fn long_unaligned_stream_roundtrips() {
+        // Cross many word boundaries with widths near the split threshold.
+        let mut w = BitWriter::new();
+        let widths = [63u32, 1, 64, 58, 7, 61, 2, 59, 64, 5];
+        let mut expected = Vec::new();
+        for (i, &width) in widths.iter().cycle().take(500).enumerate() {
+            let v = (i as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+            let masked = if width == 64 {
+                v
+            } else {
+                v & ((1 << width) - 1)
+            };
+            w.write_bits(v, width);
+            expected.push((masked, width));
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for (v, width) in expected {
+            assert_eq!(r.read_bits(width).unwrap(), v);
+        }
     }
 }

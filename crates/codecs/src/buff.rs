@@ -35,16 +35,14 @@ struct Header {
     min_q: i64,
 }
 
-fn write_payload(hdr: Header, stored: impl Iterator<Item = u64>, n: usize) -> Vec<u8> {
+fn write_payload(hdr: Header, stored: &[u64]) -> Vec<u8> {
     let kept = hdr.width - hdr.dropped;
-    let mut w = BitWriter::with_capacity(HDR_BYTES + (n * kept as usize).div_ceil(8));
+    let mut w = BitWriter::with_capacity(HDR_BYTES + (stored.len() * kept as usize).div_ceil(8));
     w.write_bits(hdr.precision as u64, 8);
     w.write_bits(hdr.width as u64, 8);
     w.write_bits(hdr.dropped as u64, 8);
     w.write_bits(hdr.min_q as u64, 64);
-    for s in stored {
-        w.write_bits(s, kept);
-    }
+    w.write_run(stored, kept);
     w.finish()
 }
 
@@ -100,11 +98,8 @@ fn encode(data: &[f64], precision: u8, truncation: Truncation) -> Result<Compres
         dropped,
         min_q,
     };
-    let payload = write_payload(
-        hdr,
-        q.iter().map(|&v| ((v - min_q) as u64) >> dropped),
-        data.len(),
-    );
+    let stored: Vec<u64> = q.iter().map(|&v| ((v - min_q) as u64) >> dropped).collect();
+    let payload = write_payload(hdr, &stored);
     let codec = if matches!(truncation, Truncation::None) {
         CodecId::Buff
     } else {
@@ -125,10 +120,11 @@ fn decode(block: &CompressedBlock) -> Result<Vec<f64>> {
     } else {
         0
     };
+    let mut stored = vec![0u64; n];
+    r.read_run(&mut stored, kept)?;
     let mut out = Vec::with_capacity(n);
-    for _ in 0..n {
-        let stored = r.read_bits(kept)?;
-        let delta = (stored << hdr.dropped) | half;
+    for s in stored {
+        let delta = (s << hdr.dropped) | half;
         let q = hdr.min_q.wrapping_add(delta as i64);
         out.push(q as f64 / scale);
     }
@@ -152,9 +148,10 @@ pub(crate) fn scan_stats(block: &CompressedBlock) -> Result<(f64, f64, f64)> {
     let mut min_q = i64::MAX;
     let mut max_q = i64::MIN;
     let mut sum_q: i128 = 0;
-    for _ in 0..n {
-        let stored = r.read_bits(kept)?;
-        let delta = (stored << hdr.dropped) | half;
+    let mut stored = vec![0u64; n];
+    r.read_run(&mut stored, kept)?;
+    for s in stored {
+        let delta = (s << hdr.dropped) | half;
         let q = hdr.min_q.wrapping_add(delta as i64);
         min_q = min_q.min(q);
         max_q = max_q.max(q);
@@ -339,11 +336,12 @@ impl LossyCodec for BuffLossy {
             ..hdr
         };
         // Pure integer pass over the packed payload: virtual decompression.
-        let mut stored = Vec::with_capacity(n);
-        for _ in 0..n {
-            stored.push(r.read_bits(cur_kept)? >> shift);
+        let mut stored = vec![0u64; n];
+        r.read_run(&mut stored, cur_kept)?;
+        for s in &mut stored {
+            *s >>= shift;
         }
-        let payload = write_payload(new_hdr, stored.into_iter(), n);
+        let payload = write_payload(new_hdr, &stored);
         Ok(CompressedBlock::new(CodecId::BuffLossy, n, payload))
     }
 }

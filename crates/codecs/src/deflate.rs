@@ -119,6 +119,7 @@ fn dist_code(dist: u16) -> (usize, u8, u16) {
 /// Write code lengths: nibble 1..=15 is a length; nibble 0 is followed by an
 /// 8-bit (run−1) count of zero lengths.
 fn write_lens(w: &mut BitWriter, lens: &[u32]) {
+    let mut nibbles = [0u64; 16];
     let mut i = 0;
     while i < lens.len() {
         if lens[i] == 0 {
@@ -130,8 +131,16 @@ fn write_lens(w: &mut BitWriter, lens: &[u32]) {
             w.write_bits((run - 1) as u64, 8);
             i += run;
         } else {
-            w.write_bits(lens[i] as u64, 4);
-            i += 1;
+            // Batch consecutive non-zero lengths through the bulk 4-bit kernel.
+            while i < lens.len() && lens[i] != 0 {
+                let mut n = 0;
+                while i < lens.len() && lens[i] != 0 && n < nibbles.len() {
+                    nibbles[n] = lens[i] as u64;
+                    n += 1;
+                    i += 1;
+                }
+                w.write_run(&nibbles[..n], 4);
+            }
         }
     }
 }

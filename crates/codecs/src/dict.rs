@@ -32,24 +32,22 @@ impl Codec for Dict {
         // First pass: collect distinct bit patterns in first-seen order.
         let mut index: HashMap<u64, u32> = HashMap::new();
         let mut entries: Vec<u64> = Vec::new();
-        let mut codes: Vec<u32> = Vec::with_capacity(data.len());
+        let mut codes: Vec<u64> = Vec::with_capacity(data.len());
         for &v in data {
             let bits = v.to_bits();
             let code = *index.entry(bits).or_insert_with(|| {
                 entries.push(bits);
                 (entries.len() - 1) as u32
             });
-            codes.push(code);
+            codes.push(code as u64);
         }
         let code_width = bits_needed(entries.len() as u64 - 1).max(1);
-        let mut w = BitWriter::with_capacity(4 + entries.len() * 8 + data.len() * 2);
+        let mut w = BitWriter::with_capacity(
+            4 + entries.len() * 8 + (data.len() * code_width as usize).div_ceil(8),
+        );
         w.write_bits(entries.len() as u64, 32);
-        for &e in &entries {
-            w.write_bits(e, 64);
-        }
-        for &c in &codes {
-            w.write_bits(c as u64, code_width);
-        }
+        w.write_run(&entries, 64);
+        w.write_run(&codes, code_width);
         Ok(CompressedBlock::new(self.id(), data.len(), w.finish()))
     }
 
@@ -64,16 +62,16 @@ impl Codec for Dict {
         if dict_len == 0 || dict_len > n {
             return Err(CodecError::Corrupt("dictionary size out of range"));
         }
-        let mut entries = Vec::with_capacity(dict_len);
-        for _ in 0..dict_len {
-            entries.push(f64::from_bits(r.read_bits(64)?));
-        }
+        let mut entry_bits = vec![0u64; dict_len];
+        r.read_run(&mut entry_bits, 64)?;
+        let entries: Vec<f64> = entry_bits.into_iter().map(f64::from_bits).collect();
         let code_width = bits_needed(dict_len as u64 - 1).max(1);
+        let mut codes = vec![0u64; n];
+        r.read_run(&mut codes, code_width)?;
         let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            let code = r.read_bits(code_width)? as usize;
+        for code in codes {
             let v = entries
-                .get(code)
+                .get(code as usize)
                 .copied()
                 .ok_or(CodecError::Corrupt("code beyond dictionary"))?;
             out.push(v);

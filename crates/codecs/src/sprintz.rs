@@ -50,10 +50,6 @@ impl Codec for Sprintz {
             return Err(CodecError::EmptyInput);
         }
         let q = quantize(data, self.precision)?;
-        let mut w = BitWriter::with_capacity(data.len() * 2);
-        // Header: precision byte, then the first value raw.
-        w.write_bits(self.precision as u64, 8);
-        w.write_bits(q[0] as u64, 64);
         let mut prev = q[0];
         let deltas: Vec<u64> = q[1..]
             .iter()
@@ -63,12 +59,19 @@ impl Codec for Sprintz {
                 zigzag_encode(d)
             })
             .collect();
+        // Size estimate: header + per-block width bytes + the worst block
+        // width observed, so smooth signals allocate once.
+        let max_width = deltas.iter().map(|&d| bits_needed(d)).max().unwrap_or(0);
+        let estimate =
+            9 + deltas.len().div_ceil(BLOCK) + (deltas.len() * max_width as usize).div_ceil(8);
+        let mut w = BitWriter::with_capacity(estimate);
+        // Header: precision byte, then the first value raw.
+        w.write_bits(self.precision as u64, 8);
+        w.write_bits(q[0] as u64, 64);
         for chunk in deltas.chunks(BLOCK) {
             let width = chunk.iter().map(|&d| bits_needed(d)).max().unwrap_or(0);
             w.write_bits(width as u64, 8);
-            for &d in chunk {
-                w.write_bits(d, width);
-            }
+            w.write_run(chunk, width);
         }
         Ok(CompressedBlock::new(self.id(), data.len(), w.finish()))
     }
@@ -86,15 +89,16 @@ impl Codec for Sprintz {
         q.push(first);
         let mut remaining = n - 1;
         let mut prev = first;
+        let mut lane = [0u64; BLOCK];
         while remaining > 0 {
             let width = r.read_bits(8)? as u32;
             if width > 64 {
                 return Err(CodecError::Corrupt("sprintz width > 64"));
             }
             let take = remaining.min(BLOCK);
-            for _ in 0..take {
-                let d = zigzag_decode(r.read_bits(width)?);
-                prev = prev.wrapping_add(d);
+            r.read_run(&mut lane[..take], width)?;
+            for &z in &lane[..take] {
+                prev = prev.wrapping_add(zigzag_decode(z));
                 q.push(prev);
             }
             remaining -= take;

@@ -12,10 +12,10 @@ use crate::selector::{LosslessSelector, SelectorConfig};
 use adaedge_codecs::{CodecId, CodecRegistry};
 use adaedge_datasets::SegmentSource;
 use crossbeam::channel;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -229,6 +229,11 @@ pub fn run_offline_pipeline(
         evaluator,
     ));
     let workers_done = std::sync::atomic::AtomicBool::new(false);
+    // Signals any change to the store's occupancy: workers wake the recoder
+    // after a put, the recoder wakes blocked workers after freeing space, and
+    // the ingestion thread wakes everyone at shutdown. Waits pair with the
+    // store mutex; short timeouts guard the flag-set/notify window.
+    let store_cv = Condvar::new();
     let recodes = AtomicU64::new(0);
     let drops = AtomicU64::new(0);
     let (tx, rx) = channel::bounded::<Vec<f64>>(config.buffer_segments.max(1));
@@ -245,14 +250,18 @@ pub fn run_offline_pipeline(
             let reg = &reg;
             let workers_done = &workers_done;
             let recodes = &recodes;
+            let store_cv = &store_cv;
             scope.spawn(move || loop {
-                let over = store.lock().over_threshold(threshold);
-                if !over {
-                    if workers_done.load(Ordering::Acquire) {
-                        return;
+                // Sleep until occupancy crosses θ·budget or the pipeline
+                // drains; puts notify the condvar, so no busy-wait.
+                {
+                    let mut guard = store.lock();
+                    while !guard.over_threshold(threshold) {
+                        if workers_done.load(Ordering::Acquire) {
+                            return;
+                        }
+                        store_cv.wait_for(&mut guard, Duration::from_millis(50));
                     }
-                    std::thread::yield_now();
-                    continue;
                 }
                 // Snapshot a victim under the lock; recode outside it.
                 let victim = {
@@ -280,7 +289,9 @@ pub fn run_offline_pipeline(
                     pick
                 };
                 let Some((id, block, target_ratio)) = victim else {
-                    std::thread::yield_now();
+                    // Nothing recodable yet; wait for the store to change.
+                    let mut guard = store.lock();
+                    store_cv.wait_for(&mut guard, Duration::from_millis(5));
                     continue;
                 };
                 let old_bytes = block.compressed_bytes();
@@ -296,9 +307,17 @@ pub fn run_offline_pipeline(
                             .unwrap_or(false);
                         if unchanged && guard.replace(id, sel.block).is_ok() {
                             recodes.fetch_add(1, Ordering::Relaxed);
+                            drop(guard);
+                            // Space was freed; wake any worker blocked on put.
+                            store_cv.notify_all();
                         }
                     }
-                    _ => std::thread::yield_now(),
+                    _ => {
+                        // Recode made no progress on this victim; back off
+                        // briefly instead of spinning on it.
+                        let mut guard = store.lock();
+                        store_cv.wait_for(&mut guard, Duration::from_millis(1));
+                    }
                 }
             })
         };
@@ -310,6 +329,7 @@ pub fn run_offline_pipeline(
             let reg = &reg;
             let lossless = &lossless;
             let store = &store;
+            let store_cv = &store_cv;
             let drops = &drops;
             workers.push(scope.spawn(move || {
                 while let Ok(data) = rx.recv() {
@@ -319,16 +339,27 @@ pub fn run_offline_pipeline(
                         continue;
                     };
                     lossless.lock().report_block(arm, &block);
-                    // Wait (bounded) for the recoder to clear space.
+                    // Wait (bounded) for the recoder to clear space, sleeping
+                    // on the condvar between attempts instead of spinning.
                     let mut stored = false;
-                    for _ in 0..10_000 {
-                        if store.lock().put_compressed(block.clone()).is_ok() {
-                            stored = true;
-                            break;
+                    let deadline = Instant::now() + Duration::from_secs(2);
+                    {
+                        let mut guard = store.lock();
+                        loop {
+                            if guard.put_compressed(block.clone()).is_ok() {
+                                stored = true;
+                                break;
+                            }
+                            if Instant::now() >= deadline {
+                                break;
+                            }
+                            store_cv.wait_for(&mut guard, Duration::from_millis(10));
                         }
-                        std::thread::yield_now();
                     }
-                    if !stored {
+                    if stored {
+                        // The store grew; the recoder may now be over θ.
+                        store_cv.notify_all();
+                    } else {
                         drops.fetch_add(1, Ordering::Relaxed);
                     }
                 }
@@ -347,6 +378,7 @@ pub fn run_offline_pipeline(
             w.join().expect("worker panicked");
         }
         workers_done.store(true, Ordering::Release);
+        store_cv.notify_all();
         recoder.join().expect("recoder panicked");
     });
 

@@ -121,7 +121,7 @@ impl SegmentSource for ShiftStream {
             while out.len() < self.segment_len {
                 let run = self
                     .rng
-                    .gen_range(64..256)
+                    .gen_range(64usize..256)
                     .min(self.segment_len - out.len());
                 for i in 0..run {
                     out.push(self.alphabet[(phase + i) % k]);

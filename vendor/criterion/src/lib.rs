@@ -1,0 +1,298 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Measures real wall-clock time with the same calibrate / warm-up / sample
+//! structure as criterion (estimate iteration cost, pick a batch size so each
+//! sample lasts `measurement_time / sample_size`, report the median sample).
+//! No statistical regression analysis, no HTML reports.
+//!
+//! Each benchmark prints a human-readable line plus one machine-readable
+//! line prefixed with `CRITERION_JSON` containing
+//! `{"group", "bench", "ns_per_iter", "bytes_per_iter", "gb_per_s"}` —
+//! scripts can grep for the prefix to build result snapshots.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+pub mod measurement {
+    //! Measurement markers (only wall-clock here).
+
+    /// Wall-clock time measurement.
+    pub struct WallTime;
+}
+
+/// Per-iteration workload size, used to derive throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier `function_name/parameter` for parameterized benchmarks.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name and a parameter into one id.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from a bare parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Benchmark driver; hands out [`BenchmarkGroup`]s.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Apply CLI configuration (accepted and ignored in the stand-in).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+            throughput: None,
+            _criterion: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// A named set of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a, M> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: std::marker::PhantomData<&'a M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Time spent warming up before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target total sampling time.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Per-iteration workload for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            ns_per_iter: f64::NAN,
+        };
+        f(&mut bencher);
+        self.report(&id.to_string(), bencher.ns_per_iter);
+        self
+    }
+
+    /// Run one benchmark with a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (reports are printed eagerly; this is a no-op).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, ns_per_iter: f64) {
+        let full = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{id}", self.name)
+        };
+        let bytes = match self.throughput {
+            Some(Throughput::Bytes(b)) => Some(b),
+            _ => None,
+        };
+        let gbps = bytes.map(|b| b as f64 / ns_per_iter);
+        match gbps {
+            Some(g) => println!("bench {full:<48} {ns_per_iter:>12.1} ns/iter  {g:>8.3} GB/s"),
+            None => println!("bench {full:<48} {ns_per_iter:>12.1} ns/iter"),
+        }
+        let (group_json, bench_json) = if self.name.is_empty() {
+            ("", id)
+        } else {
+            (self.name.as_str(), id)
+        };
+        println!(
+            "CRITERION_JSON {{\"group\":\"{}\",\"bench\":\"{}\",\"ns_per_iter\":{:.1},\"bytes_per_iter\":{},\"gb_per_s\":{}}}",
+            group_json,
+            bench_json,
+            ns_per_iter,
+            bytes.map_or("null".to_string(), |b| b.to_string()),
+            gbps.map_or("null".to_string(), |g| format!("{g:.4}")),
+        );
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measure `f`: calibrate during warm-up, then time `sample_size`
+    /// batches and keep the median batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up doubles the batch until the total warm-up budget is spent;
+        // this also calibrates the per-iteration cost.
+        let mut batch: u64 = 1;
+        let mut warm_elapsed = Duration::ZERO;
+        let mut last_batch_ns = f64::NAN;
+        while warm_elapsed < self.warm_up_time {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let took = start.elapsed();
+            last_batch_ns = took.as_nanos() as f64 / batch as f64;
+            warm_elapsed += took;
+            if batch < u64::MAX / 2 {
+                batch *= 2;
+            }
+        }
+        let est_iter_ns = if last_batch_ns.is_finite() && last_batch_ns > 0.0 {
+            last_batch_ns
+        } else {
+            1.0
+        };
+        // Size each sample so all samples together fill measurement_time.
+        let per_sample_ns =
+            self.measurement_time.as_nanos() as f64 / self.sample_size.max(1) as f64;
+        let iters_per_sample = (per_sample_ns / est_iter_ns).ceil().max(1.0) as u64;
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            samples_ns.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.ns_per_iter = samples_ns[samples_ns.len() / 2];
+    }
+}
+
+/// Bundle benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something_positive() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..100u64 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            })
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(
+            BenchmarkId::new("compress", "gorilla").to_string(),
+            "compress/gorilla"
+        );
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

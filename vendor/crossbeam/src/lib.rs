@@ -1,0 +1,331 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the `crossbeam::channel` subset this workspace uses: bounded
+//! and unbounded MPMC channels with cloneable senders *and* receivers,
+//! blocking `send`/`recv`, `recv_timeout`, and disconnect semantics
+//! (`recv` fails once every sender is dropped and the queue is drained;
+//! `send` fails once every receiver is dropped).
+//!
+//! Implemented over a `Mutex<VecDeque>` with two condition variables. The
+//! pipelines in this workspace move whole segments (thousands of points)
+//! per message, so per-message channel overhead is not on the hot path.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        cap: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Sending half of a channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned when sending on a channel with no receivers.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when receiving on a drained, sender-less channel.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The wait timed out with the channel still empty.
+        Timeout,
+        /// All senders disconnected and the queue is drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// All senders disconnected and the queue is drained.
+        Disconnected,
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    fn shared<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// Create a bounded channel holding at most `cap` messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        shared(Some(cap))
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        shared(None)
+    }
+
+    impl<T> Sender<T> {
+        /// Send `value`, blocking while the channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut inner = self.shared.inner.lock().expect("channel lock");
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                let full = inner.cap.is_some_and(|c| inner.queue.len() >= c);
+                if !full {
+                    inner.queue.push_back(value);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                inner = self.shared.not_full.wait(inner).expect("channel lock");
+            }
+        }
+
+        /// Whether a bounded channel is currently at capacity.
+        pub fn is_full(&self) -> bool {
+            let inner = self.shared.inner.lock().expect("channel lock");
+            inner.cap.is_some_and(|c| inner.queue.len() >= c)
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.inner.lock().expect("channel lock").queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.inner.lock().expect("channel lock").senders += 1;
+            Self {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().expect("channel lock");
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                // Wake receivers so they can observe the disconnect.
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive the next message, blocking while the channel is empty.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.shared.inner.lock().expect("channel lock");
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.shared.not_empty.wait(inner).expect("channel lock");
+            }
+        }
+
+        /// Receive with a deadline of `timeout` from now.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut inner = self.shared.inner.lock().expect("channel lock");
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(inner, deadline - now)
+                    .expect("channel lock");
+                inner = guard;
+            }
+        }
+
+        /// Receive without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.shared.inner.lock().expect("channel lock");
+            if let Some(v) = inner.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.inner.lock().expect("channel lock").queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.inner.lock().expect("channel lock").receivers += 1;
+            Self {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().expect("channel lock");
+            inner.receivers -= 1;
+            if inner.receivers == 0 {
+                // Wake senders so they can observe the disconnect.
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn bounded_roundtrip_in_order() {
+        let (tx, rx) = channel::bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        assert!(tx.is_full());
+        for i in 0..4 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn recv_fails_after_senders_drop() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv().unwrap(), 7);
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn send_fails_after_receivers_drop() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = channel::bounded::<u32>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn blocking_send_unblocks_on_recv() {
+        let (tx, rx) = channel::bounded(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || tx.send(2).unwrap());
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn mpmc_delivers_every_message_once() {
+        let (tx, rx) = channel::bounded(8);
+        let mut handles = Vec::new();
+        for w in 0..4 {
+            let rx = rx.clone();
+            handles.push(std::thread::spawn(move || {
+                let _ = w;
+                let mut got = Vec::new();
+                while let Ok(v) = rx.recv() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        drop(rx);
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut all: Vec<i32> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+}

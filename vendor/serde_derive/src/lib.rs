@@ -1,0 +1,493 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored `serde::Serialize` / `serde::Deserialize`
+//! traits (value-tree based, see `vendor/serde`). Because the real `syn` /
+//! `quote` crates are unavailable offline, the input is parsed directly from
+//! the `proc_macro` token stream and the output is assembled as source text.
+//!
+//! Supported shapes — exactly what this workspace derives:
+//! * structs with named fields,
+//! * tuple structs,
+//! * enums with unit, tuple, and struct variants (externally tagged).
+//!
+//! Not supported: generics and `#[serde(...)]` attributes (compile error).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skip one attribute (`#` + bracket group) if present at `i`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    while *i + 1 < tokens.len() {
+        match (&tokens[*i], &tokens[*i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Skip a visibility modifier (`pub`, `pub(crate)`, ...) if present.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Skip type tokens until a comma at angle-bracket depth 0; consumes the
+/// comma. Returns at end of input too.
+fn skip_type_until_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth: i64 = 0;
+    while *i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*i] {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Parse `name: Type, ...` named-field lists (struct bodies, struct variants).
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(tokens, &mut i);
+        skip_vis(tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        // Expect ':' then the type.
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => panic!(
+                "serde_derive: expected ':' after field `{}`",
+                fields.last().unwrap()
+            ),
+        }
+        skip_type_until_comma(tokens, &mut i);
+    }
+    fields
+}
+
+/// Count tuple fields: top-level commas + 1 (0 for an empty list).
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth: i64 = 0;
+    let mut count = 1;
+    let mut saw_token_since_comma = false;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    count += 1;
+                    saw_token_since_comma = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_token_since_comma = true;
+    }
+    // Tolerate a trailing comma.
+    if !saw_token_since_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                VariantKind::Struct(parse_named_fields(&inner))
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Skip an optional discriminant and the separating comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    loop {
+        skip_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let name = match tokens.get(i + 1) {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    _ => panic!("serde_derive: expected struct name"),
+                };
+                match tokens.get(i + 2) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        panic!("serde_derive (vendored): generics are not supported")
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        return Shape::NamedStruct {
+                            name,
+                            fields: parse_named_fields(&inner),
+                        };
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        return Shape::TupleStruct {
+                            name,
+                            arity: count_tuple_fields(&inner),
+                        };
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                        return Shape::UnitStruct { name };
+                    }
+                    other => panic!("serde_derive: unexpected token after struct name: {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let name = match tokens.get(i + 1) {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    _ => panic!("serde_derive: expected enum name"),
+                };
+                match tokens.get(i + 2) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        panic!("serde_derive (vendored): generics are not supported")
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        return Shape::Enum {
+                            name,
+                            variants: parse_variants(&inner),
+                        };
+                    }
+                    other => panic!("serde_derive: unexpected token after enum name: {other:?}"),
+                }
+            }
+            Some(_) => {
+                i += 1;
+            }
+            None => panic!("serde_derive: no struct or enum found in derive input"),
+        }
+    }
+}
+
+/// `#[derive(Serialize)]` — see the crate docs for the supported shapes.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let src = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{pushes}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            let items: String = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(::std::vec![{items}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(\
+                             ::std::string::String::from(\"{vname}\")),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: String = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Array(::std::vec![{items}]))]),",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let items: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f})),"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(\
+                                 ::std::vec![(::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Object(::std::vec![{items}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse()
+        .expect("serde_derive: generated Serialize impl parses")
+}
+
+/// `#[derive(Deserialize)]` — see the crate docs for the supported shapes.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let src = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(v.get(\"{f}\")\
+                         .ok_or_else(|| ::serde::DeError::new(\
+                         \"missing field `{f}` in {name}\"))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         ::std::result::Result::Ok(Self {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            let items: String = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let arr = v.as_array().ok_or_else(|| \
+                             ::serde::DeError::new(\"expected array for {name}\"))?;\n\
+                         if arr.len() != {arity} {{\n\
+                             return ::std::result::Result::Err(::serde::DeError::new(\
+                                 \"wrong tuple arity for {name}\"));\n\
+                         }}\n\
+                         ::std::result::Result::Ok(Self({items}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(_v: &::serde::Value) -> \
+                     ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     ::std::result::Result::Ok(Self)\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let items: String = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?,"))
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{\n\
+                                     let arr = inner.as_array().ok_or_else(|| \
+                                         ::serde::DeError::new(\"expected array payload\"))?;\n\
+                                     if arr.len() != {n} {{\n\
+                                         return ::std::result::Result::Err(\
+                                             ::serde::DeError::new(\"wrong variant arity\"));\n\
+                                     }}\n\
+                                     ::std::result::Result::Ok({name}::{vname}({items}))\n\
+                                 }}"
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         inner.get(\"{f}\").ok_or_else(|| \
+                                         ::serde::DeError::new(\
+                                         \"missing field `{f}` in {name}::{vname}\"))?)?,"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => ::std::result::Result::Ok(\
+                                 {name}::{vname} {{ {inits} }}),"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         if let ::serde::Value::Str(s) = v {{\n\
+                             return match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => ::std::result::Result::Err(::serde::DeError::new(\
+                                     ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                             }};\n\
+                         }}\n\
+                         let pairs = v.as_object().ok_or_else(|| \
+                             ::serde::DeError::new(\"expected string or object for {name}\"))?;\n\
+                         if pairs.len() != 1 {{\n\
+                             return ::std::result::Result::Err(::serde::DeError::new(\
+                                 \"expected single-key object for {name}\"));\n\
+                         }}\n\
+                         let (tag, inner) = &pairs[0];\n\
+                         let _ = inner;\n\
+                         match tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             {unit_arms}\n\
+                             other => ::std::result::Result::Err(::serde::DeError::new(\
+                                 ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse()
+        .expect("serde_derive: generated Deserialize impl parses")
+}
