@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-254f4e56e6606ac6.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-254f4e56e6606ac6: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

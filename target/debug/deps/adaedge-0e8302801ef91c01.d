@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adaedge-0e8302801ef91c01.d: src/bin/adaedge.rs
+
+/root/repo/target/debug/deps/adaedge-0e8302801ef91c01: src/bin/adaedge.rs
+
+src/bin/adaedge.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/adaedge-3b403ff0ad0ea1d1.d: src/lib.rs
+
+/root/repo/target/debug/deps/libadaedge-3b403ff0ad0ea1d1.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libadaedge-3b403ff0ad0ea1d1.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adaedge-583612e9f72b9e61.d: src/lib.rs
+
+/root/repo/target/debug/deps/adaedge-583612e9f72b9e61: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adaedge-9cc956bf15d95871.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadaedge-9cc956bf15d95871.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adaedge-c0f4eb80a7000e4b.d: src/bin/adaedge.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadaedge-c0f4eb80a7000e4b.rmeta: src/bin/adaedge.rs Cargo.toml
+
+src/bin/adaedge.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

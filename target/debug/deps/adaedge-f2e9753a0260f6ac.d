@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adaedge-f2e9753a0260f6ac.d: src/bin/adaedge.rs
+
+/root/repo/target/debug/deps/adaedge-f2e9753a0260f6ac: src/bin/adaedge.rs
+
+src/bin/adaedge.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/adaedge_bandit-179729969f315228.d: crates/bandit/src/lib.rs crates/bandit/src/banded.rs crates/bandit/src/egreedy.rs crates/bandit/src/gradient.rs crates/bandit/src/normalize.rs crates/bandit/src/policy.rs crates/bandit/src/ucb.rs
+
+/root/repo/target/debug/deps/adaedge_bandit-179729969f315228: crates/bandit/src/lib.rs crates/bandit/src/banded.rs crates/bandit/src/egreedy.rs crates/bandit/src/gradient.rs crates/bandit/src/normalize.rs crates/bandit/src/policy.rs crates/bandit/src/ucb.rs
+
+crates/bandit/src/lib.rs:
+crates/bandit/src/banded.rs:
+crates/bandit/src/egreedy.rs:
+crates/bandit/src/gradient.rs:
+crates/bandit/src/normalize.rs:
+crates/bandit/src/policy.rs:
+crates/bandit/src/ucb.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/adaedge_bandit-b67c425522802c2b.d: crates/bandit/src/lib.rs crates/bandit/src/banded.rs crates/bandit/src/egreedy.rs crates/bandit/src/gradient.rs crates/bandit/src/normalize.rs crates/bandit/src/policy.rs crates/bandit/src/ucb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadaedge_bandit-b67c425522802c2b.rmeta: crates/bandit/src/lib.rs crates/bandit/src/banded.rs crates/bandit/src/egreedy.rs crates/bandit/src/gradient.rs crates/bandit/src/normalize.rs crates/bandit/src/policy.rs crates/bandit/src/ucb.rs Cargo.toml
+
+crates/bandit/src/lib.rs:
+crates/bandit/src/banded.rs:
+crates/bandit/src/egreedy.rs:
+crates/bandit/src/gradient.rs:
+crates/bandit/src/normalize.rs:
+crates/bandit/src/policy.rs:
+crates/bandit/src/ucb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/adaedge_bandit-dcd86e401e55d761.d: crates/bandit/src/lib.rs crates/bandit/src/banded.rs crates/bandit/src/egreedy.rs crates/bandit/src/gradient.rs crates/bandit/src/normalize.rs crates/bandit/src/policy.rs crates/bandit/src/ucb.rs
+
+/root/repo/target/debug/deps/libadaedge_bandit-dcd86e401e55d761.rlib: crates/bandit/src/lib.rs crates/bandit/src/banded.rs crates/bandit/src/egreedy.rs crates/bandit/src/gradient.rs crates/bandit/src/normalize.rs crates/bandit/src/policy.rs crates/bandit/src/ucb.rs
+
+/root/repo/target/debug/deps/libadaedge_bandit-dcd86e401e55d761.rmeta: crates/bandit/src/lib.rs crates/bandit/src/banded.rs crates/bandit/src/egreedy.rs crates/bandit/src/gradient.rs crates/bandit/src/normalize.rs crates/bandit/src/policy.rs crates/bandit/src/ucb.rs
+
+crates/bandit/src/lib.rs:
+crates/bandit/src/banded.rs:
+crates/bandit/src/egreedy.rs:
+crates/bandit/src/gradient.rs:
+crates/bandit/src/normalize.rs:
+crates/bandit/src/policy.rs:
+crates/bandit/src/ucb.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/adaedge_bench-73d9d039230b85af.d: crates/bench/src/lib.rs crates/bench/src/agg_figure.rs crates/bench/src/harness.rs crates/bench/src/setup.rs
+
+/root/repo/target/debug/deps/adaedge_bench-73d9d039230b85af: crates/bench/src/lib.rs crates/bench/src/agg_figure.rs crates/bench/src/harness.rs crates/bench/src/setup.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/agg_figure.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/setup.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/adaedge_bench-8df19f2317c60d57.d: crates/bench/src/lib.rs crates/bench/src/agg_figure.rs crates/bench/src/harness.rs crates/bench/src/setup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadaedge_bench-8df19f2317c60d57.rmeta: crates/bench/src/lib.rs crates/bench/src/agg_figure.rs crates/bench/src/harness.rs crates/bench/src/setup.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/agg_figure.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/setup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

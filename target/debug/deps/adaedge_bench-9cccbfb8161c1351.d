@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/adaedge_bench-9cccbfb8161c1351.d: crates/bench/src/lib.rs crates/bench/src/agg_figure.rs crates/bench/src/harness.rs crates/bench/src/setup.rs
+
+/root/repo/target/debug/deps/libadaedge_bench-9cccbfb8161c1351.rlib: crates/bench/src/lib.rs crates/bench/src/agg_figure.rs crates/bench/src/harness.rs crates/bench/src/setup.rs
+
+/root/repo/target/debug/deps/libadaedge_bench-9cccbfb8161c1351.rmeta: crates/bench/src/lib.rs crates/bench/src/agg_figure.rs crates/bench/src/harness.rs crates/bench/src/setup.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/agg_figure.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/setup.rs:

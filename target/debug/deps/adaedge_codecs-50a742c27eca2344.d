@@ -1,0 +1,31 @@
+/root/repo/target/debug/deps/adaedge_codecs-50a742c27eca2344.d: crates/codecs/src/lib.rs crates/codecs/src/bitio.rs crates/codecs/src/block.rs crates/codecs/src/buff.rs crates/codecs/src/chimp.rs crates/codecs/src/deflate.rs crates/codecs/src/dict.rs crates/codecs/src/direct.rs crates/codecs/src/elf.rs crates/codecs/src/error.rs crates/codecs/src/fft.rs crates/codecs/src/gorilla.rs crates/codecs/src/huffman.rs crates/codecs/src/lttb.rs crates/codecs/src/lz.rs crates/codecs/src/paa.rs crates/codecs/src/pla.rs crates/codecs/src/raw.rs crates/codecs/src/registry.rs crates/codecs/src/rle.rs crates/codecs/src/rrd.rs crates/codecs/src/snappy.rs crates/codecs/src/sprintz.rs crates/codecs/src/traits.rs crates/codecs/src/util.rs
+
+/root/repo/target/debug/deps/libadaedge_codecs-50a742c27eca2344.rlib: crates/codecs/src/lib.rs crates/codecs/src/bitio.rs crates/codecs/src/block.rs crates/codecs/src/buff.rs crates/codecs/src/chimp.rs crates/codecs/src/deflate.rs crates/codecs/src/dict.rs crates/codecs/src/direct.rs crates/codecs/src/elf.rs crates/codecs/src/error.rs crates/codecs/src/fft.rs crates/codecs/src/gorilla.rs crates/codecs/src/huffman.rs crates/codecs/src/lttb.rs crates/codecs/src/lz.rs crates/codecs/src/paa.rs crates/codecs/src/pla.rs crates/codecs/src/raw.rs crates/codecs/src/registry.rs crates/codecs/src/rle.rs crates/codecs/src/rrd.rs crates/codecs/src/snappy.rs crates/codecs/src/sprintz.rs crates/codecs/src/traits.rs crates/codecs/src/util.rs
+
+/root/repo/target/debug/deps/libadaedge_codecs-50a742c27eca2344.rmeta: crates/codecs/src/lib.rs crates/codecs/src/bitio.rs crates/codecs/src/block.rs crates/codecs/src/buff.rs crates/codecs/src/chimp.rs crates/codecs/src/deflate.rs crates/codecs/src/dict.rs crates/codecs/src/direct.rs crates/codecs/src/elf.rs crates/codecs/src/error.rs crates/codecs/src/fft.rs crates/codecs/src/gorilla.rs crates/codecs/src/huffman.rs crates/codecs/src/lttb.rs crates/codecs/src/lz.rs crates/codecs/src/paa.rs crates/codecs/src/pla.rs crates/codecs/src/raw.rs crates/codecs/src/registry.rs crates/codecs/src/rle.rs crates/codecs/src/rrd.rs crates/codecs/src/snappy.rs crates/codecs/src/sprintz.rs crates/codecs/src/traits.rs crates/codecs/src/util.rs
+
+crates/codecs/src/lib.rs:
+crates/codecs/src/bitio.rs:
+crates/codecs/src/block.rs:
+crates/codecs/src/buff.rs:
+crates/codecs/src/chimp.rs:
+crates/codecs/src/deflate.rs:
+crates/codecs/src/dict.rs:
+crates/codecs/src/direct.rs:
+crates/codecs/src/elf.rs:
+crates/codecs/src/error.rs:
+crates/codecs/src/fft.rs:
+crates/codecs/src/gorilla.rs:
+crates/codecs/src/huffman.rs:
+crates/codecs/src/lttb.rs:
+crates/codecs/src/lz.rs:
+crates/codecs/src/paa.rs:
+crates/codecs/src/pla.rs:
+crates/codecs/src/raw.rs:
+crates/codecs/src/registry.rs:
+crates/codecs/src/rle.rs:
+crates/codecs/src/rrd.rs:
+crates/codecs/src/snappy.rs:
+crates/codecs/src/sprintz.rs:
+crates/codecs/src/traits.rs:
+crates/codecs/src/util.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/adaedge_core-384b69ad954e496a.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/constraints.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/offline.rs crates/core/src/online.rs crates/core/src/query.rs crates/core/src/selector.rs crates/core/src/targets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadaedge_core-384b69ad954e496a.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/constraints.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/offline.rs crates/core/src/online.rs crates/core/src/query.rs crates/core/src/selector.rs crates/core/src/targets.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/constraints.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/offline.rs:
+crates/core/src/online.rs:
+crates/core/src/query.rs:
+crates/core/src/selector.rs:
+crates/core/src/targets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/adaedge_core-937be44a71314b86.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/constraints.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/offline.rs crates/core/src/online.rs crates/core/src/query.rs crates/core/src/selector.rs crates/core/src/targets.rs
+
+/root/repo/target/debug/deps/libadaedge_core-937be44a71314b86.rlib: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/constraints.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/offline.rs crates/core/src/online.rs crates/core/src/query.rs crates/core/src/selector.rs crates/core/src/targets.rs
+
+/root/repo/target/debug/deps/libadaedge_core-937be44a71314b86.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/constraints.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/offline.rs crates/core/src/online.rs crates/core/src/query.rs crates/core/src/selector.rs crates/core/src/targets.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/constraints.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/offline.rs:
+crates/core/src/online.rs:
+crates/core/src/query.rs:
+crates/core/src/selector.rs:
+crates/core/src/targets.rs:

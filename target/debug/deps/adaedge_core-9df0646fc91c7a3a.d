@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/adaedge_core-9df0646fc91c7a3a.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/constraints.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/offline.rs crates/core/src/online.rs crates/core/src/query.rs crates/core/src/selector.rs crates/core/src/targets.rs
+
+/root/repo/target/debug/deps/adaedge_core-9df0646fc91c7a3a: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/constraints.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/offline.rs crates/core/src/online.rs crates/core/src/query.rs crates/core/src/selector.rs crates/core/src/targets.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/constraints.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/offline.rs:
+crates/core/src/online.rs:
+crates/core/src/query.rs:
+crates/core/src/selector.rs:
+crates/core/src/targets.rs:

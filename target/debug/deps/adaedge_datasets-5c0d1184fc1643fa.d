@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/adaedge_datasets-5c0d1184fc1643fa.d: crates/datasets/src/lib.rs crates/datasets/src/cbf.rs crates/datasets/src/rng.rs crates/datasets/src/stream.rs crates/datasets/src/synthetic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadaedge_datasets-5c0d1184fc1643fa.rmeta: crates/datasets/src/lib.rs crates/datasets/src/cbf.rs crates/datasets/src/rng.rs crates/datasets/src/stream.rs crates/datasets/src/synthetic.rs Cargo.toml
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/cbf.rs:
+crates/datasets/src/rng.rs:
+crates/datasets/src/stream.rs:
+crates/datasets/src/synthetic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

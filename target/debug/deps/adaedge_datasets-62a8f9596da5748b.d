@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adaedge_datasets-62a8f9596da5748b.d: crates/datasets/src/lib.rs crates/datasets/src/cbf.rs crates/datasets/src/rng.rs crates/datasets/src/stream.rs crates/datasets/src/synthetic.rs
+
+/root/repo/target/debug/deps/adaedge_datasets-62a8f9596da5748b: crates/datasets/src/lib.rs crates/datasets/src/cbf.rs crates/datasets/src/rng.rs crates/datasets/src/stream.rs crates/datasets/src/synthetic.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/cbf.rs:
+crates/datasets/src/rng.rs:
+crates/datasets/src/stream.rs:
+crates/datasets/src/synthetic.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/adaedge_datasets-c3db8bedb97021e4.d: crates/datasets/src/lib.rs crates/datasets/src/cbf.rs crates/datasets/src/rng.rs crates/datasets/src/stream.rs crates/datasets/src/synthetic.rs
+
+/root/repo/target/debug/deps/libadaedge_datasets-c3db8bedb97021e4.rlib: crates/datasets/src/lib.rs crates/datasets/src/cbf.rs crates/datasets/src/rng.rs crates/datasets/src/stream.rs crates/datasets/src/synthetic.rs
+
+/root/repo/target/debug/deps/libadaedge_datasets-c3db8bedb97021e4.rmeta: crates/datasets/src/lib.rs crates/datasets/src/cbf.rs crates/datasets/src/rng.rs crates/datasets/src/stream.rs crates/datasets/src/synthetic.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/cbf.rs:
+crates/datasets/src/rng.rs:
+crates/datasets/src/stream.rs:
+crates/datasets/src/synthetic.rs:

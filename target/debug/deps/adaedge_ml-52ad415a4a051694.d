@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/adaedge_ml-52ad415a4a051694.d: crates/ml/src/lib.rs crates/ml/src/data.rs crates/ml/src/dtree.rs crates/ml/src/forest.rs crates/ml/src/kmeans.rs crates/ml/src/knn.rs crates/ml/src/metrics.rs crates/ml/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadaedge_ml-52ad415a4a051694.rmeta: crates/ml/src/lib.rs crates/ml/src/data.rs crates/ml/src/dtree.rs crates/ml/src/forest.rs crates/ml/src/kmeans.rs crates/ml/src/knn.rs crates/ml/src/metrics.rs crates/ml/src/model.rs Cargo.toml
+
+crates/ml/src/lib.rs:
+crates/ml/src/data.rs:
+crates/ml/src/dtree.rs:
+crates/ml/src/forest.rs:
+crates/ml/src/kmeans.rs:
+crates/ml/src/knn.rs:
+crates/ml/src/metrics.rs:
+crates/ml/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/adaedge_ml-82fc079abe0ce8d6.d: crates/ml/src/lib.rs crates/ml/src/data.rs crates/ml/src/dtree.rs crates/ml/src/forest.rs crates/ml/src/kmeans.rs crates/ml/src/knn.rs crates/ml/src/metrics.rs crates/ml/src/model.rs
+
+/root/repo/target/debug/deps/libadaedge_ml-82fc079abe0ce8d6.rlib: crates/ml/src/lib.rs crates/ml/src/data.rs crates/ml/src/dtree.rs crates/ml/src/forest.rs crates/ml/src/kmeans.rs crates/ml/src/knn.rs crates/ml/src/metrics.rs crates/ml/src/model.rs
+
+/root/repo/target/debug/deps/libadaedge_ml-82fc079abe0ce8d6.rmeta: crates/ml/src/lib.rs crates/ml/src/data.rs crates/ml/src/dtree.rs crates/ml/src/forest.rs crates/ml/src/kmeans.rs crates/ml/src/knn.rs crates/ml/src/metrics.rs crates/ml/src/model.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/data.rs:
+crates/ml/src/dtree.rs:
+crates/ml/src/forest.rs:
+crates/ml/src/kmeans.rs:
+crates/ml/src/knn.rs:
+crates/ml/src/metrics.rs:
+crates/ml/src/model.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/adaedge_ml-b28891b3aae43972.d: crates/ml/src/lib.rs crates/ml/src/data.rs crates/ml/src/dtree.rs crates/ml/src/forest.rs crates/ml/src/kmeans.rs crates/ml/src/knn.rs crates/ml/src/metrics.rs crates/ml/src/model.rs
+
+/root/repo/target/debug/deps/adaedge_ml-b28891b3aae43972: crates/ml/src/lib.rs crates/ml/src/data.rs crates/ml/src/dtree.rs crates/ml/src/forest.rs crates/ml/src/kmeans.rs crates/ml/src/knn.rs crates/ml/src/metrics.rs crates/ml/src/model.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/data.rs:
+crates/ml/src/dtree.rs:
+crates/ml/src/forest.rs:
+crates/ml/src/kmeans.rs:
+crates/ml/src/knn.rs:
+crates/ml/src/metrics.rs:
+crates/ml/src/model.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/adaedge_storage-06287fe926046411.d: crates/storage/src/lib.rs crates/storage/src/persist.rs crates/storage/src/policy.rs crates/storage/src/segment.rs crates/storage/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadaedge_storage-06287fe926046411.rmeta: crates/storage/src/lib.rs crates/storage/src/persist.rs crates/storage/src/policy.rs crates/storage/src/segment.rs crates/storage/src/store.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/persist.rs:
+crates/storage/src/policy.rs:
+crates/storage/src/segment.rs:
+crates/storage/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adaedge_storage-3c3a63769a16717d.d: crates/storage/src/lib.rs crates/storage/src/persist.rs crates/storage/src/policy.rs crates/storage/src/segment.rs crates/storage/src/store.rs
+
+/root/repo/target/debug/deps/adaedge_storage-3c3a63769a16717d: crates/storage/src/lib.rs crates/storage/src/persist.rs crates/storage/src/policy.rs crates/storage/src/segment.rs crates/storage/src/store.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/persist.rs:
+crates/storage/src/policy.rs:
+crates/storage/src/segment.rs:
+crates/storage/src/store.rs:

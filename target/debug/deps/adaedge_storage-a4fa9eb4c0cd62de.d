@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/adaedge_storage-a4fa9eb4c0cd62de.d: crates/storage/src/lib.rs crates/storage/src/persist.rs crates/storage/src/policy.rs crates/storage/src/segment.rs crates/storage/src/store.rs
+
+/root/repo/target/debug/deps/libadaedge_storage-a4fa9eb4c0cd62de.rlib: crates/storage/src/lib.rs crates/storage/src/persist.rs crates/storage/src/policy.rs crates/storage/src/segment.rs crates/storage/src/store.rs
+
+/root/repo/target/debug/deps/libadaedge_storage-a4fa9eb4c0cd62de.rmeta: crates/storage/src/lib.rs crates/storage/src/persist.rs crates/storage/src/policy.rs crates/storage/src/segment.rs crates/storage/src/store.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/persist.rs:
+crates/storage/src/policy.rs:
+crates/storage/src/segment.rs:
+crates/storage/src/store.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aggregation_queries-ca5d567cd3bc54ad.d: tests/aggregation_queries.rs
+
+/root/repo/target/debug/deps/aggregation_queries-ca5d567cd3bc54ad: tests/aggregation_queries.rs
+
+tests/aggregation_queries.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-3a133d839a17e56c.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-3a133d839a17e56c: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_adaedge=/root/repo/target/debug/adaedge

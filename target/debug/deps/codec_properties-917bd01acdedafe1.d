@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codec_properties-917bd01acdedafe1.d: tests/codec_properties.rs
+
+/root/repo/target/debug/deps/codec_properties-917bd01acdedafe1: tests/codec_properties.rs
+
+tests/codec_properties.rs:

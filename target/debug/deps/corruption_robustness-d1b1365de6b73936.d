@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/corruption_robustness-d1b1365de6b73936.d: tests/corruption_robustness.rs
+
+/root/repo/target/debug/deps/corruption_robustness-d1b1365de6b73936: tests/corruption_robustness.rs
+
+tests/corruption_robustness.rs:

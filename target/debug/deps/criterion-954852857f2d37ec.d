@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-954852857f2d37ec.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-954852857f2d37ec: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-a54d43a8971d135b.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-a54d43a8971d135b.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-a54d43a8971d135b.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

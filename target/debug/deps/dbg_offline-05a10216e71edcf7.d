@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dbg_offline-05a10216e71edcf7.d: crates/bench/src/bin/dbg_offline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdbg_offline-05a10216e71edcf7.rmeta: crates/bench/src/bin/dbg_offline.rs Cargo.toml
+
+crates/bench/src/bin/dbg_offline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dbg_offline-f10a4ada371517ff.d: crates/bench/src/bin/dbg_offline.rs
+
+/root/repo/target/debug/deps/dbg_offline-f10a4ada371517ff: crates/bench/src/bin/dbg_offline.rs
+
+crates/bench/src/bin/dbg_offline.rs:

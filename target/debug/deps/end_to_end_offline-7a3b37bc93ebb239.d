@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_offline-7a3b37bc93ebb239.d: tests/end_to_end_offline.rs
+
+/root/repo/target/debug/deps/end_to_end_offline-7a3b37bc93ebb239: tests/end_to_end_offline.rs
+
+tests/end_to_end_offline.rs:

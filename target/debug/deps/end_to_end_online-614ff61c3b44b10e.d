@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_online-614ff61c3b44b10e.d: tests/end_to_end_online.rs
+
+/root/repo/target/debug/deps/end_to_end_online-614ff61c3b44b10e: tests/end_to_end_online.rs
+
+tests/end_to_end_online.rs:

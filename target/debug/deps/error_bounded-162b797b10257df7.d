@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/error_bounded-162b797b10257df7.d: tests/error_bounded.rs
+
+/root/repo/target/debug/deps/error_bounded-162b797b10257df7: tests/error_bounded.rs
+
+tests/error_bounded.rs:

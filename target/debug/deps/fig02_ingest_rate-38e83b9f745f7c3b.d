@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_ingest_rate-38e83b9f745f7c3b.d: crates/bench/src/bin/fig02_ingest_rate.rs
+
+/root/repo/target/debug/deps/fig02_ingest_rate-38e83b9f745f7c3b: crates/bench/src/bin/fig02_ingest_rate.rs
+
+crates/bench/src/bin/fig02_ingest_rate.rs:

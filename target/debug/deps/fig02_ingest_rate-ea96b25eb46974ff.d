@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig02_ingest_rate-ea96b25eb46974ff.d: crates/bench/src/bin/fig02_ingest_rate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig02_ingest_rate-ea96b25eb46974ff.rmeta: crates/bench/src/bin/fig02_ingest_rate.rs Cargo.toml
+
+crates/bench/src/bin/fig02_ingest_rate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

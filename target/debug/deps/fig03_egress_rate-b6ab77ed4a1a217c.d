@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig03_egress_rate-b6ab77ed4a1a217c.d: crates/bench/src/bin/fig03_egress_rate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig03_egress_rate-b6ab77ed4a1a217c.rmeta: crates/bench/src/bin/fig03_egress_rate.rs Cargo.toml
+
+crates/bench/src/bin/fig03_egress_rate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

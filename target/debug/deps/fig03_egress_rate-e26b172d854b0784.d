@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_egress_rate-e26b172d854b0784.d: crates/bench/src/bin/fig03_egress_rate.rs
+
+/root/repo/target/debug/deps/fig03_egress_rate-e26b172d854b0784: crates/bench/src/bin/fig03_egress_rate.rs
+
+crates/bench/src/bin/fig03_egress_rate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig04_cascade-a7aa1145f8983f71.d: crates/bench/src/bin/fig04_cascade.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig04_cascade-a7aa1145f8983f71.rmeta: crates/bench/src/bin/fig04_cascade.rs Cargo.toml
+
+crates/bench/src/bin/fig04_cascade.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_cascade-bbe2732e57bd8efb.d: crates/bench/src/bin/fig04_cascade.rs
+
+/root/repo/target/debug/deps/fig04_cascade-bbe2732e57bd8efb: crates/bench/src/bin/fig04_cascade.rs
+
+crates/bench/src/bin/fig04_cascade.rs:

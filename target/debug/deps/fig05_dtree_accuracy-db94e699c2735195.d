@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_dtree_accuracy-db94e699c2735195.d: crates/bench/src/bin/fig05_dtree_accuracy.rs
+
+/root/repo/target/debug/deps/fig05_dtree_accuracy-db94e699c2735195: crates/bench/src/bin/fig05_dtree_accuracy.rs
+
+crates/bench/src/bin/fig05_dtree_accuracy.rs:

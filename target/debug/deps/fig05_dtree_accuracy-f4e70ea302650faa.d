@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig05_dtree_accuracy-f4e70ea302650faa.d: crates/bench/src/bin/fig05_dtree_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig05_dtree_accuracy-f4e70ea302650faa.rmeta: crates/bench/src/bin/fig05_dtree_accuracy.rs Cargo.toml
+
+crates/bench/src/bin/fig05_dtree_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_rforest_accuracy-8391845910b841bf.d: crates/bench/src/bin/fig06_rforest_accuracy.rs
+
+/root/repo/target/debug/deps/fig06_rforest_accuracy-8391845910b841bf: crates/bench/src/bin/fig06_rforest_accuracy.rs
+
+crates/bench/src/bin/fig06_rforest_accuracy.rs:

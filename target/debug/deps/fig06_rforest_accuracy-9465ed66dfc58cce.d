@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06_rforest_accuracy-9465ed66dfc58cce.d: crates/bench/src/bin/fig06_rforest_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06_rforest_accuracy-9465ed66dfc58cce.rmeta: crates/bench/src/bin/fig06_rforest_accuracy.rs Cargo.toml
+
+crates/bench/src/bin/fig06_rforest_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_online_ml-431c2f94c37d8023.d: crates/bench/src/bin/fig07_online_ml.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_online_ml-431c2f94c37d8023.rmeta: crates/bench/src/bin/fig07_online_ml.rs Cargo.toml
+
+crates/bench/src/bin/fig07_online_ml.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_online_ml-d65ac712ac7d0aea.d: crates/bench/src/bin/fig07_online_ml.rs
+
+/root/repo/target/debug/deps/fig07_online_ml-d65ac712ac7d0aea: crates/bench/src/bin/fig07_online_ml.rs
+
+crates/bench/src/bin/fig07_online_ml.rs:

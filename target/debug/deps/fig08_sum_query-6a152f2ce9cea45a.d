@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_sum_query-6a152f2ce9cea45a.d: crates/bench/src/bin/fig08_sum_query.rs
+
+/root/repo/target/debug/deps/fig08_sum_query-6a152f2ce9cea45a: crates/bench/src/bin/fig08_sum_query.rs
+
+crates/bench/src/bin/fig08_sum_query.rs:

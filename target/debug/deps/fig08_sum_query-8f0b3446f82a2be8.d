@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_sum_query-8f0b3446f82a2be8.d: crates/bench/src/bin/fig08_sum_query.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_sum_query-8f0b3446f82a2be8.rmeta: crates/bench/src/bin/fig08_sum_query.rs Cargo.toml
+
+crates/bench/src/bin/fig08_sum_query.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

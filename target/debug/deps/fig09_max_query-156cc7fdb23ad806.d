@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_max_query-156cc7fdb23ad806.d: crates/bench/src/bin/fig09_max_query.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_max_query-156cc7fdb23ad806.rmeta: crates/bench/src/bin/fig09_max_query.rs Cargo.toml
+
+crates/bench/src/bin/fig09_max_query.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

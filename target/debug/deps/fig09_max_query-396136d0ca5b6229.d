@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_max_query-396136d0ca5b6229.d: crates/bench/src/bin/fig09_max_query.rs
+
+/root/repo/target/debug/deps/fig09_max_query-396136d0ca5b6229: crates/bench/src/bin/fig09_max_query.rs
+
+crates/bench/src/bin/fig09_max_query.rs:

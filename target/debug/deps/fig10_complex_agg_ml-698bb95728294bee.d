@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_complex_agg_ml-698bb95728294bee.d: crates/bench/src/bin/fig10_complex_agg_ml.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_complex_agg_ml-698bb95728294bee.rmeta: crates/bench/src/bin/fig10_complex_agg_ml.rs Cargo.toml
+
+crates/bench/src/bin/fig10_complex_agg_ml.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

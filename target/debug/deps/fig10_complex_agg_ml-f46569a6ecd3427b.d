@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_complex_agg_ml-f46569a6ecd3427b.d: crates/bench/src/bin/fig10_complex_agg_ml.rs
+
+/root/repo/target/debug/deps/fig10_complex_agg_ml-f46569a6ecd3427b: crates/bench/src/bin/fig10_complex_agg_ml.rs
+
+crates/bench/src/bin/fig10_complex_agg_ml.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_complex_speed_ml-46d6442322d46e2b.d: crates/bench/src/bin/fig11_complex_speed_ml.rs
+
+/root/repo/target/debug/deps/fig11_complex_speed_ml-46d6442322d46e2b: crates/bench/src/bin/fig11_complex_speed_ml.rs
+
+crates/bench/src/bin/fig11_complex_speed_ml.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_complex_speed_ml-70a2ae56fa888830.d: crates/bench/src/bin/fig11_complex_speed_ml.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_complex_speed_ml-70a2ae56fa888830.rmeta: crates/bench/src/bin/fig11_complex_speed_ml.rs Cargo.toml
+
+crates/bench/src/bin/fig11_complex_speed_ml.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_offline_kmeans-cabca6b1e02f3e3c.d: crates/bench/src/bin/fig12_offline_kmeans.rs
+
+/root/repo/target/debug/deps/fig12_offline_kmeans-cabca6b1e02f3e3c: crates/bench/src/bin/fig12_offline_kmeans.rs
+
+crates/bench/src/bin/fig12_offline_kmeans.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_offline_kmeans-f0efdb4966c95a52.d: crates/bench/src/bin/fig12_offline_kmeans.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_offline_kmeans-f0efdb4966c95a52.rmeta: crates/bench/src/bin/fig12_offline_kmeans.rs Cargo.toml
+
+crates/bench/src/bin/fig12_offline_kmeans.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_highfreq-8ad05e13c90eab56.d: crates/bench/src/bin/fig14_highfreq.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_highfreq-8ad05e13c90eab56.rmeta: crates/bench/src/bin/fig14_highfreq.rs Cargo.toml
+
+crates/bench/src/bin/fig14_highfreq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_highfreq-d9bf922215415875.d: crates/bench/src/bin/fig14_highfreq.rs
+
+/root/repo/target/debug/deps/fig14_highfreq-d9bf922215415875: crates/bench/src/bin/fig14_highfreq.rs
+
+crates/bench/src/bin/fig14_highfreq.rs:

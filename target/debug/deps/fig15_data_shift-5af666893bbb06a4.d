@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_data_shift-5af666893bbb06a4.d: crates/bench/src/bin/fig15_data_shift.rs
+
+/root/repo/target/debug/deps/fig15_data_shift-5af666893bbb06a4: crates/bench/src/bin/fig15_data_shift.rs
+
+crates/bench/src/bin/fig15_data_shift.rs:

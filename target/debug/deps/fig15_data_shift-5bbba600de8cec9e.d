@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_data_shift-5bbba600de8cec9e.d: crates/bench/src/bin/fig15_data_shift.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_data_shift-5bbba600de8cec9e.rmeta: crates/bench/src/bin/fig15_data_shift.rs Cargo.toml
+
+crates/bench/src/bin/fig15_data_shift.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_wire_format-1f353abaf4c27780.d: crates/codecs/tests/golden_wire_format.rs
+
+/root/repo/target/debug/deps/golden_wire_format-1f353abaf4c27780: crates/codecs/tests/golden_wire_format.rs
+
+crates/codecs/tests/golden_wire_format.rs:

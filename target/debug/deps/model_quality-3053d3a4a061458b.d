@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_quality-3053d3a4a061458b.d: crates/ml/tests/model_quality.rs
+
+/root/repo/target/debug/deps/model_quality-3053d3a4a061458b: crates/ml/tests/model_quality.rs
+
+crates/ml/tests/model_quality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-6566f9962b0de239.d: crates/storage/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-6566f9962b0de239: crates/storage/tests/properties.rs
+
+crates/storage/tests/properties.rs:

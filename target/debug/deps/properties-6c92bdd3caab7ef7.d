@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-6c92bdd3caab7ef7.d: crates/bandit/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-6c92bdd3caab7ef7: crates/bandit/tests/properties.rs
+
+crates/bandit/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-ab07f999e37ce2f9.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-ab07f999e37ce2f9: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scalability-ff766ed38f60b34d.d: crates/bench/src/bin/scalability.rs
+
+/root/repo/target/debug/deps/scalability-ff766ed38f60b34d: crates/bench/src/bin/scalability.rs
+
+crates/bench/src/bin/scalability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/data_shift-80abed9d14712a74.d: examples/data_shift.rs
+
+/root/repo/target/debug/examples/data_shift-80abed9d14712a74: examples/data_shift.rs
+
+examples/data_shift.rs:

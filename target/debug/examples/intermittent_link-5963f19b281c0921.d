@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/intermittent_link-5963f19b281c0921.d: examples/intermittent_link.rs
+
+/root/repo/target/debug/examples/intermittent_link-5963f19b281c0921: examples/intermittent_link.rs
+
+examples/intermittent_link.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/offshore_logger-7cb5e56b1febd9cd.d: examples/offshore_logger.rs
+
+/root/repo/target/debug/examples/offshore_logger-7cb5e56b1febd9cd: examples/offshore_logger.rs
+
+examples/offshore_logger.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/oil_platform-b879a92b5fdf5c12.d: examples/oil_platform.rs
+
+/root/repo/target/debug/examples/oil_platform-b879a92b5fdf5c12: examples/oil_platform.rs
+
+examples/oil_platform.rs:

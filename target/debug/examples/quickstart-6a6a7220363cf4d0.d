@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6a6a7220363cf4d0.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6a6a7220363cf4d0: examples/quickstart.rs
+
+examples/quickstart.rs:

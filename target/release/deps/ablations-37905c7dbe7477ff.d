@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-37905c7dbe7477ff.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-37905c7dbe7477ff: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/adaedge-553eb212911f8800.d: src/bin/adaedge.rs
+
+/root/repo/target/release/deps/adaedge-553eb212911f8800: src/bin/adaedge.rs
+
+src/bin/adaedge.rs:

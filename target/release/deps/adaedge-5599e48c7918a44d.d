@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/adaedge-5599e48c7918a44d.d: src/lib.rs
+
+/root/repo/target/release/deps/libadaedge-5599e48c7918a44d.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libadaedge-5599e48c7918a44d.rmeta: src/lib.rs
+
+src/lib.rs:

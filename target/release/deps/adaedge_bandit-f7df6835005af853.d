@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/adaedge_bandit-f7df6835005af853.d: crates/bandit/src/lib.rs crates/bandit/src/banded.rs crates/bandit/src/egreedy.rs crates/bandit/src/gradient.rs crates/bandit/src/normalize.rs crates/bandit/src/policy.rs crates/bandit/src/ucb.rs
+
+/root/repo/target/release/deps/libadaedge_bandit-f7df6835005af853.rlib: crates/bandit/src/lib.rs crates/bandit/src/banded.rs crates/bandit/src/egreedy.rs crates/bandit/src/gradient.rs crates/bandit/src/normalize.rs crates/bandit/src/policy.rs crates/bandit/src/ucb.rs
+
+/root/repo/target/release/deps/libadaedge_bandit-f7df6835005af853.rmeta: crates/bandit/src/lib.rs crates/bandit/src/banded.rs crates/bandit/src/egreedy.rs crates/bandit/src/gradient.rs crates/bandit/src/normalize.rs crates/bandit/src/policy.rs crates/bandit/src/ucb.rs
+
+crates/bandit/src/lib.rs:
+crates/bandit/src/banded.rs:
+crates/bandit/src/egreedy.rs:
+crates/bandit/src/gradient.rs:
+crates/bandit/src/normalize.rs:
+crates/bandit/src/policy.rs:
+crates/bandit/src/ucb.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/adaedge_bench-9273f780729fd724.d: crates/bench/src/lib.rs crates/bench/src/agg_figure.rs crates/bench/src/harness.rs crates/bench/src/setup.rs
+
+/root/repo/target/release/deps/libadaedge_bench-9273f780729fd724.rlib: crates/bench/src/lib.rs crates/bench/src/agg_figure.rs crates/bench/src/harness.rs crates/bench/src/setup.rs
+
+/root/repo/target/release/deps/libadaedge_bench-9273f780729fd724.rmeta: crates/bench/src/lib.rs crates/bench/src/agg_figure.rs crates/bench/src/harness.rs crates/bench/src/setup.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/agg_figure.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/setup.rs:

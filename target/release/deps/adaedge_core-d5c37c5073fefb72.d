@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/adaedge_core-d5c37c5073fefb72.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/constraints.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/offline.rs crates/core/src/online.rs crates/core/src/query.rs crates/core/src/selector.rs crates/core/src/targets.rs
+
+/root/repo/target/release/deps/libadaedge_core-d5c37c5073fefb72.rlib: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/constraints.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/offline.rs crates/core/src/online.rs crates/core/src/query.rs crates/core/src/selector.rs crates/core/src/targets.rs
+
+/root/repo/target/release/deps/libadaedge_core-d5c37c5073fefb72.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/constraints.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/offline.rs crates/core/src/online.rs crates/core/src/query.rs crates/core/src/selector.rs crates/core/src/targets.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/constraints.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/offline.rs:
+crates/core/src/online.rs:
+crates/core/src/query.rs:
+crates/core/src/selector.rs:
+crates/core/src/targets.rs:

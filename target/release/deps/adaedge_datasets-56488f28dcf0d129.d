@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/adaedge_datasets-56488f28dcf0d129.d: crates/datasets/src/lib.rs crates/datasets/src/cbf.rs crates/datasets/src/rng.rs crates/datasets/src/stream.rs crates/datasets/src/synthetic.rs
+
+/root/repo/target/release/deps/libadaedge_datasets-56488f28dcf0d129.rlib: crates/datasets/src/lib.rs crates/datasets/src/cbf.rs crates/datasets/src/rng.rs crates/datasets/src/stream.rs crates/datasets/src/synthetic.rs
+
+/root/repo/target/release/deps/libadaedge_datasets-56488f28dcf0d129.rmeta: crates/datasets/src/lib.rs crates/datasets/src/cbf.rs crates/datasets/src/rng.rs crates/datasets/src/stream.rs crates/datasets/src/synthetic.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/cbf.rs:
+crates/datasets/src/rng.rs:
+crates/datasets/src/stream.rs:
+crates/datasets/src/synthetic.rs:

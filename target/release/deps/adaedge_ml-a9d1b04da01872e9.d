@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/adaedge_ml-a9d1b04da01872e9.d: crates/ml/src/lib.rs crates/ml/src/data.rs crates/ml/src/dtree.rs crates/ml/src/forest.rs crates/ml/src/kmeans.rs crates/ml/src/knn.rs crates/ml/src/metrics.rs crates/ml/src/model.rs
+
+/root/repo/target/release/deps/libadaedge_ml-a9d1b04da01872e9.rlib: crates/ml/src/lib.rs crates/ml/src/data.rs crates/ml/src/dtree.rs crates/ml/src/forest.rs crates/ml/src/kmeans.rs crates/ml/src/knn.rs crates/ml/src/metrics.rs crates/ml/src/model.rs
+
+/root/repo/target/release/deps/libadaedge_ml-a9d1b04da01872e9.rmeta: crates/ml/src/lib.rs crates/ml/src/data.rs crates/ml/src/dtree.rs crates/ml/src/forest.rs crates/ml/src/kmeans.rs crates/ml/src/knn.rs crates/ml/src/metrics.rs crates/ml/src/model.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/data.rs:
+crates/ml/src/dtree.rs:
+crates/ml/src/forest.rs:
+crates/ml/src/kmeans.rs:
+crates/ml/src/knn.rs:
+crates/ml/src/metrics.rs:
+crates/ml/src/model.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/adaedge_storage-0c08283063807609.d: crates/storage/src/lib.rs crates/storage/src/persist.rs crates/storage/src/policy.rs crates/storage/src/segment.rs crates/storage/src/store.rs
+
+/root/repo/target/release/deps/libadaedge_storage-0c08283063807609.rlib: crates/storage/src/lib.rs crates/storage/src/persist.rs crates/storage/src/policy.rs crates/storage/src/segment.rs crates/storage/src/store.rs
+
+/root/repo/target/release/deps/libadaedge_storage-0c08283063807609.rmeta: crates/storage/src/lib.rs crates/storage/src/persist.rs crates/storage/src/policy.rs crates/storage/src/segment.rs crates/storage/src/store.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/persist.rs:
+crates/storage/src/policy.rs:
+crates/storage/src/segment.rs:
+crates/storage/src/store.rs:

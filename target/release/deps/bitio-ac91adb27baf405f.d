@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bitio-ac91adb27baf405f.d: crates/bench/benches/bitio.rs
+
+/root/repo/target/release/deps/bitio-ac91adb27baf405f: crates/bench/benches/bitio.rs
+
+crates/bench/benches/bitio.rs:

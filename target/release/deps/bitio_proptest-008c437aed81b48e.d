@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bitio_proptest-008c437aed81b48e.d: crates/codecs/tests/bitio_proptest.rs
+
+/root/repo/target/release/deps/bitio_proptest-008c437aed81b48e: crates/codecs/tests/bitio_proptest.rs
+
+crates/codecs/tests/bitio_proptest.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-3a57eaf6d610b9fc.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-3a57eaf6d610b9fc.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-3a57eaf6d610b9fc.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

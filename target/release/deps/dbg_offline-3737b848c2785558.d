@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dbg_offline-3737b848c2785558.d: crates/bench/src/bin/dbg_offline.rs
+
+/root/repo/target/release/deps/dbg_offline-3737b848c2785558: crates/bench/src/bin/dbg_offline.rs
+
+crates/bench/src/bin/dbg_offline.rs:

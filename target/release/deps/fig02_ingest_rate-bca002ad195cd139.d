@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02_ingest_rate-bca002ad195cd139.d: crates/bench/src/bin/fig02_ingest_rate.rs
+
+/root/repo/target/release/deps/fig02_ingest_rate-bca002ad195cd139: crates/bench/src/bin/fig02_ingest_rate.rs
+
+crates/bench/src/bin/fig02_ingest_rate.rs:

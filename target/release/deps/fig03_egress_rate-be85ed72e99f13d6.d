@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03_egress_rate-be85ed72e99f13d6.d: crates/bench/src/bin/fig03_egress_rate.rs
+
+/root/repo/target/release/deps/fig03_egress_rate-be85ed72e99f13d6: crates/bench/src/bin/fig03_egress_rate.rs
+
+crates/bench/src/bin/fig03_egress_rate.rs:

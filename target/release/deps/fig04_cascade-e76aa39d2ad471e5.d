@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04_cascade-e76aa39d2ad471e5.d: crates/bench/src/bin/fig04_cascade.rs
+
+/root/repo/target/release/deps/fig04_cascade-e76aa39d2ad471e5: crates/bench/src/bin/fig04_cascade.rs
+
+crates/bench/src/bin/fig04_cascade.rs:

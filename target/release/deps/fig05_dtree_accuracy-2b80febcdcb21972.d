@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_dtree_accuracy-2b80febcdcb21972.d: crates/bench/src/bin/fig05_dtree_accuracy.rs
+
+/root/repo/target/release/deps/fig05_dtree_accuracy-2b80febcdcb21972: crates/bench/src/bin/fig05_dtree_accuracy.rs
+
+crates/bench/src/bin/fig05_dtree_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06_rforest_accuracy-84a4d67887701994.d: crates/bench/src/bin/fig06_rforest_accuracy.rs
+
+/root/repo/target/release/deps/fig06_rforest_accuracy-84a4d67887701994: crates/bench/src/bin/fig06_rforest_accuracy.rs
+
+crates/bench/src/bin/fig06_rforest_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_online_ml-8e45f1f95ebfc47f.d: crates/bench/src/bin/fig07_online_ml.rs
+
+/root/repo/target/release/deps/fig07_online_ml-8e45f1f95ebfc47f: crates/bench/src/bin/fig07_online_ml.rs
+
+crates/bench/src/bin/fig07_online_ml.rs:

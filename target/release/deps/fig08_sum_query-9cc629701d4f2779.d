@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_sum_query-9cc629701d4f2779.d: crates/bench/src/bin/fig08_sum_query.rs
+
+/root/repo/target/release/deps/fig08_sum_query-9cc629701d4f2779: crates/bench/src/bin/fig08_sum_query.rs
+
+crates/bench/src/bin/fig08_sum_query.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_max_query-9412f13970c4a9ba.d: crates/bench/src/bin/fig09_max_query.rs
+
+/root/repo/target/release/deps/fig09_max_query-9412f13970c4a9ba: crates/bench/src/bin/fig09_max_query.rs
+
+crates/bench/src/bin/fig09_max_query.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_complex_agg_ml-1980249727d15362.d: crates/bench/src/bin/fig10_complex_agg_ml.rs
+
+/root/repo/target/release/deps/fig10_complex_agg_ml-1980249727d15362: crates/bench/src/bin/fig10_complex_agg_ml.rs
+
+crates/bench/src/bin/fig10_complex_agg_ml.rs:

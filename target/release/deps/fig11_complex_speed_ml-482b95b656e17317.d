@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_complex_speed_ml-482b95b656e17317.d: crates/bench/src/bin/fig11_complex_speed_ml.rs
+
+/root/repo/target/release/deps/fig11_complex_speed_ml-482b95b656e17317: crates/bench/src/bin/fig11_complex_speed_ml.rs
+
+crates/bench/src/bin/fig11_complex_speed_ml.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_offline_kmeans-770cf27b02af5472.d: crates/bench/src/bin/fig12_offline_kmeans.rs
+
+/root/repo/target/release/deps/fig12_offline_kmeans-770cf27b02af5472: crates/bench/src/bin/fig12_offline_kmeans.rs
+
+crates/bench/src/bin/fig12_offline_kmeans.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_highfreq-ae6bf85bb13a6e64.d: crates/bench/src/bin/fig14_highfreq.rs
+
+/root/repo/target/release/deps/fig14_highfreq-ae6bf85bb13a6e64: crates/bench/src/bin/fig14_highfreq.rs
+
+crates/bench/src/bin/fig14_highfreq.rs:

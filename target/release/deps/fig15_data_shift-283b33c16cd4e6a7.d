@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_data_shift-283b33c16cd4e6a7.d: crates/bench/src/bin/fig15_data_shift.rs
+
+/root/repo/target/release/deps/fig15_data_shift-283b33c16cd4e6a7: crates/bench/src/bin/fig15_data_shift.rs
+
+crates/bench/src/bin/fig15_data_shift.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/golden_wire_format-a566d897332320df.d: crates/codecs/tests/golden_wire_format.rs
+
+/root/repo/target/release/deps/golden_wire_format-a566d897332320df: crates/codecs/tests/golden_wire_format.rs
+
+crates/codecs/tests/golden_wire_format.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-15768840b6090348.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-15768840b6090348.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-15768840b6090348.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

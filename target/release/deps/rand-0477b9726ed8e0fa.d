@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-0477b9726ed8e0fa.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-0477b9726ed8e0fa.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-0477b9726ed8e0fa.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

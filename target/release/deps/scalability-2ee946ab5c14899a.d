@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scalability-2ee946ab5c14899a.d: crates/bench/src/bin/scalability.rs
+
+/root/repo/target/release/deps/scalability-2ee946ab5c14899a: crates/bench/src/bin/scalability.rs
+
+crates/bench/src/bin/scalability.rs:
