@@ -1,0 +1,87 @@
+//! End-to-end online-engine throughput: segments/s through the full
+//! ingest → bounded buffer → MAB select → compress pipeline at 1/2/4/8
+//! worker threads (the §V-C scalability axis, measured at the segment
+//! granularity the allocation work targets).
+//!
+//! The signal pool is pre-generated (`CycleSource`) so the measurement
+//! isolates the pipeline itself; the MAB runs with its default online
+//! hyper-parameters and converges to the lightweight arms, which is the
+//! steady state the zero-allocation path optimizes.
+//!
+//! Run: `cargo run --release -p adaedge-bench --bin engine_throughput`
+//! (`-- --quick` for the CI smoke configuration). Prints a table and a
+//! JSON object suitable for `BENCH_engine.json`.
+
+use adaedge_core::engine::{run_pipeline, EngineConfig, EngineReport};
+use adaedge_datasets::{CycleSource, SineStream};
+
+const SEGMENT_LEN: usize = 1000;
+const POOL: usize = 64;
+
+fn run_once(threads: usize, segments: usize) -> EngineReport {
+    let mut sine = SineStream::new(SEGMENT_LEN, 0.1, 4, 7);
+    let mut source = CycleSource::pregenerate(&mut sine, POOL);
+    let config = EngineConfig {
+        n_compression_threads: threads,
+        ..Default::default()
+    };
+    run_pipeline(&mut source, segments, &config)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let segments = if quick { 300 } else { 6000 };
+    let repeats = if quick { 1 } else { 5 };
+
+    println!("Engine throughput: {segments} segments x {SEGMENT_LEN} points, best of {repeats}");
+    println!(
+        "{:>8} {:>14} {:>16} {:>12} {:>10}",
+        "threads", "segments/s", "points/s", "egress", "seconds"
+    );
+
+    let mut rows = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        // One untimed warm-up run per thread count.
+        run_once(threads, segments / 4);
+        let mut best: Option<EngineReport> = None;
+        for _ in 0..repeats {
+            let report = run_once(threads, segments);
+            if best
+                .as_ref()
+                .map(|b| report.points_per_sec > b.points_per_sec)
+                .unwrap_or(true)
+            {
+                best = Some(report);
+            }
+        }
+        let report = best.expect("at least one run");
+        let seg_per_sec = report.points_per_sec / SEGMENT_LEN as f64;
+        println!(
+            "{:>8} {:>14.0} {:>16.0} {:>12.4} {:>10.3}",
+            threads,
+            seg_per_sec,
+            report.points_per_sec,
+            report.bytes_out as f64 / report.bytes_in as f64,
+            report.elapsed_seconds
+        );
+        rows.push((threads, seg_per_sec, report));
+    }
+
+    println!("\nJSON:");
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"segment_len\": {SEGMENT_LEN},\n  \"segments\": {segments},\n  \"repeats\": {repeats},\n"
+    ));
+    json.push_str("  \"threads\": {\n");
+    for (i, (threads, seg_per_sec, report)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{threads}\": {{ \"segments_per_sec\": {:.0}, \"points_per_sec\": {:.0}, \"egress_ratio\": {:.4} }}{}\n",
+            seg_per_sec,
+            report.points_per_sec,
+            report.bytes_out as f64 / report.bytes_in as f64,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}");
+    println!("{json}");
+}

@@ -62,6 +62,24 @@ impl BitWriter {
         }
     }
 
+    /// Create a writer that reuses `buf`'s allocation: the buffer is
+    /// cleared but its capacity is kept, so a recycled scratch vector
+    /// makes the whole write allocation-free once it has grown to the
+    /// working-set size.
+    pub fn over(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        Self {
+            buf,
+            acc: 0,
+            nacc: 0,
+        }
+    }
+
+    /// Reserve room for at least `additional` more output bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
     #[inline]
     fn flush_word(&mut self) {
         self.buf.extend_from_slice(&self.acc.to_be_bytes());

@@ -175,6 +175,15 @@ impl CompressedBlock {
         }
     }
 
+    /// Borrow this block as a [`CompressedBlockRef`].
+    pub fn as_ref(&self) -> CompressedBlockRef<'_> {
+        CompressedBlockRef {
+            codec: self.codec,
+            n_points: self.n_points,
+            payload: &self.payload,
+        }
+    }
+
     /// Size of the stored payload in bytes.
     pub fn compressed_bytes(&self) -> usize {
         self.payload.len()
@@ -192,6 +201,64 @@ impl CompressedBlock {
             return 1.0;
         }
         self.compressed_bytes() as f64 / self.original_bytes() as f64
+    }
+}
+
+/// A compressed segment whose payload borrows a scratch arena.
+///
+/// Returned by [`Codec::compress_into`]: the payload lives in the arena's
+/// output buffer and is valid until the arena's next use. Callers that only
+/// need the size/ratio (the steady-state online ingest loop) never touch the
+/// heap; callers that must keep the block call [`CompressedBlockRef::to_block`].
+///
+/// [`Codec::compress_into`]: crate::traits::Codec::compress_into
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompressedBlockRef<'a> {
+    /// Which codec produced the payload.
+    pub codec: CodecId,
+    /// Number of `f64` points in the original segment.
+    pub n_points: u32,
+    /// Codec-specific encoded bytes, borrowed from a [`CodecScratch`].
+    ///
+    /// [`CodecScratch`]: crate::scratch::CodecScratch
+    pub payload: &'a [u8],
+}
+
+impl<'a> CompressedBlockRef<'a> {
+    /// Construct a borrowed block.
+    pub fn new(codec: CodecId, n_points: usize, payload: &'a [u8]) -> Self {
+        Self {
+            codec,
+            n_points: n_points as u32,
+            payload,
+        }
+    }
+
+    /// Size of the payload in bytes.
+    pub fn compressed_bytes(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Size of the original segment in bytes.
+    pub fn original_bytes(&self) -> usize {
+        self.n_points as usize * POINT_BYTES
+    }
+
+    /// Compression ratio = compressed / original (smaller is better).
+    pub fn ratio(&self) -> f64 {
+        if self.n_points == 0 {
+            return 1.0;
+        }
+        self.compressed_bytes() as f64 / self.original_bytes() as f64
+    }
+
+    /// Copy into an owned [`CompressedBlock`].
+    pub fn to_block(&self) -> CompressedBlock {
+        CompressedBlock {
+            codec: self.codec,
+            n_points: self.n_points,
+            payload: self.payload.to_vec(),
+        }
     }
 }
 

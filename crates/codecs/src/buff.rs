@@ -14,10 +14,11 @@
 //! decompression", §IV-E): no floats are reconstructed.
 
 use crate::bitio::{bits_needed, BitReader, BitWriter};
-use crate::block::{CodecId, CompressedBlock, POINT_BYTES};
+use crate::block::{CodecId, CompressedBlock, CompressedBlockRef, POINT_BYTES};
 use crate::error::{CodecError, Result};
+use crate::scratch::CodecScratch;
 use crate::traits::{budget_bytes, check_lossy_args, Codec, CodecKind, LossyCodec};
-use crate::util::{pow10, quantize};
+use crate::util::{min_max_i64, pow10, quantize_into};
 
 /// Header bytes: precision (1) + width (1) + dropped (1) + min_q (8).
 const HDR_BYTES: usize = 11;
@@ -36,14 +37,21 @@ struct Header {
 }
 
 fn write_payload(hdr: Header, stored: &[u64]) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_payload_into(hdr, stored, &mut out);
+    out
+}
+
+fn write_payload_into(hdr: Header, stored: &[u64], out: &mut Vec<u8>) {
     let kept = hdr.width - hdr.dropped;
-    let mut w = BitWriter::with_capacity(HDR_BYTES + (stored.len() * kept as usize).div_ceil(8));
+    let mut w = BitWriter::over(std::mem::take(out));
+    w.reserve(HDR_BYTES + (stored.len() * kept as usize).div_ceil(8));
     w.write_bits(hdr.precision as u64, 8);
     w.write_bits(hdr.width as u64, 8);
     w.write_bits(hdr.dropped as u64, 8);
     w.write_bits(hdr.min_q as u64, 64);
     w.write_run(stored, kept);
-    w.finish()
+    *out = w.finish();
 }
 
 fn read_header(r: &mut BitReader<'_>) -> Result<Header> {
@@ -76,12 +84,35 @@ enum Truncation {
 
 /// Compress `data`, truncating per `truncation`.
 fn encode(data: &[f64], precision: u8, truncation: Truncation) -> Result<CompressedBlock> {
+    let mut scratch = CodecScratch::new();
+    let (codec, n) = {
+        let r = encode_into(data, precision, truncation, &mut scratch)?;
+        (r.codec, r.n_points)
+    };
+    Ok(CompressedBlock {
+        codec,
+        n_points: n,
+        payload: scratch.take_out(),
+    })
+}
+
+/// [`encode`] into the scratch arena: quantized values, rebased offsets and
+/// the packed payload all land in reused buffers.
+fn encode_into<'a>(
+    data: &[f64],
+    precision: u8,
+    truncation: Truncation,
+    scratch: &'a mut CodecScratch,
+) -> Result<CompressedBlockRef<'a>> {
     if data.is_empty() {
         return Err(CodecError::EmptyInput);
     }
-    let q = quantize(data, precision)?;
-    let min_q = *q.iter().min().expect("non-empty");
-    let max_q = *q.iter().max().expect("non-empty");
+    let CodecScratch {
+        out, u64s, i64s, ..
+    } = scratch;
+    quantize_into(data, precision, i64s)?;
+    let q = &*i64s;
+    let (min_q, max_q) = min_max_i64(q);
     let range = (max_q as i128 - min_q as i128) as u128;
     if range > u64::MAX as u128 {
         return Err(CodecError::UnsupportedValue("range overflows 64 bits"));
@@ -98,17 +129,30 @@ fn encode(data: &[f64], precision: u8, truncation: Truncation) -> Result<Compres
         dropped,
         min_q,
     };
-    let stored: Vec<u64> = q.iter().map(|&v| ((v - min_q) as u64) >> dropped).collect();
-    let payload = write_payload(hdr, &stored);
+    let stored = u64s;
+    stored.clear();
+    stored.reserve(q.len());
+    stored.extend(q.iter().map(|&v| ((v - min_q) as u64) >> dropped));
+    write_payload_into(hdr, stored, out);
     let codec = if matches!(truncation, Truncation::None) {
         CodecId::Buff
     } else {
         CodecId::BuffLossy
     };
-    Ok(CompressedBlock::new(codec, data.len(), payload))
+    Ok(CompressedBlockRef::new(codec, data.len(), out))
 }
 
 fn decode(block: &CompressedBlock) -> Result<Vec<f64>> {
+    let mut out = Vec::new();
+    decode_into(block, &mut CodecScratch::new(), &mut out)?;
+    Ok(out)
+}
+
+fn decode_into(
+    block: &CompressedBlock,
+    scratch: &mut CodecScratch,
+    out: &mut Vec<f64>,
+) -> Result<()> {
     let n = block.n_points as usize;
     let mut r = BitReader::new(&block.payload);
     let hdr = read_header(&mut r)?;
@@ -120,15 +164,18 @@ fn decode(block: &CompressedBlock) -> Result<Vec<f64>> {
     } else {
         0
     };
-    let mut stored = vec![0u64; n];
-    r.read_run(&mut stored, kept)?;
-    let mut out = Vec::with_capacity(n);
-    for s in stored {
+    let stored = &mut scratch.u64s;
+    stored.clear();
+    stored.resize(n, 0);
+    r.read_run(stored, kept)?;
+    out.clear();
+    out.reserve(n);
+    for &s in stored.iter() {
         let delta = (s << hdr.dropped) | half;
         let q = hdr.min_q.wrapping_add(delta as i64);
         out.push(q as f64 / scale);
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Scan a BUFF/BUFF-lossy payload's packed integers without materializing
@@ -202,6 +249,24 @@ impl Codec for Buff {
         self.check_block(block)?;
         decode(block)
     }
+
+    fn compress_into<'a>(
+        &self,
+        data: &[f64],
+        scratch: &'a mut CodecScratch,
+    ) -> Result<CompressedBlockRef<'a>> {
+        encode_into(data, self.precision, Truncation::None, scratch)
+    }
+
+    fn decompress_into(
+        &self,
+        block: &CompressedBlock,
+        scratch: &mut CodecScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        self.check_block(block)?;
+        decode_into(block, scratch, out)
+    }
 }
 
 /// Lossy BUFF: truncates low-order bits to hit a target ratio.
@@ -246,6 +311,29 @@ impl Codec for BuffLossy {
     fn decompress(&self, block: &CompressedBlock) -> Result<Vec<f64>> {
         self.check_block(block)?;
         decode(block)
+    }
+
+    fn compress_into<'a>(
+        &self,
+        data: &[f64],
+        scratch: &'a mut CodecScratch,
+    ) -> Result<CompressedBlockRef<'a>> {
+        encode_into(
+            data,
+            self.precision,
+            Truncation::Keep(MIN_KEPT_BITS.max(16)),
+            scratch,
+        )
+    }
+
+    fn decompress_into(
+        &self,
+        block: &CompressedBlock,
+        scratch: &mut CodecScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        self.check_block(block)?;
+        decode_into(block, scratch, out)
     }
 }
 

@@ -13,8 +13,9 @@
 //!   `64 − lead` bits.
 
 use crate::bitio::{BitReader, BitWriter};
-use crate::block::{CodecId, CompressedBlock};
+use crate::block::{CodecId, CompressedBlock, CompressedBlockRef};
 use crate::error::{CodecError, Result};
+use crate::scratch::CodecScratch;
 use crate::traits::{Codec, CodecKind};
 
 /// Rounded leading-zero buckets used by CHIMP (3-bit representation).
@@ -72,10 +73,31 @@ impl Codec for Chimp {
     }
 
     fn compress(&self, data: &[f64]) -> Result<CompressedBlock> {
+        let mut scratch = CodecScratch::new();
+        let n = self.compress_into(data, &mut scratch)?.n_points;
+        Ok(CompressedBlock {
+            codec: self.id(),
+            n_points: n,
+            payload: scratch.take_out(),
+        })
+    }
+
+    fn decompress(&self, block: &CompressedBlock) -> Result<Vec<f64>> {
+        let mut out = Vec::new();
+        self.decompress_into(block, &mut CodecScratch::new(), &mut out)?;
+        Ok(out)
+    }
+
+    fn compress_into<'a>(
+        &self,
+        data: &[f64],
+        scratch: &'a mut CodecScratch,
+    ) -> Result<CompressedBlockRef<'a>> {
         if data.is_empty() {
             return Err(CodecError::EmptyInput);
         }
-        let mut w = BitWriter::with_capacity(data.len() * 8);
+        let mut w = BitWriter::over(std::mem::take(&mut scratch.out));
+        w.reserve(data.len() * 8);
         let mut prev = data[0].to_bits();
         w.write_bits(prev, 64);
         let mut prev_lead: u32 = u32::MAX;
@@ -108,18 +130,25 @@ impl Codec for Chimp {
                 prev_lead = lead;
             }
         }
-        Ok(CompressedBlock::new(self.id(), data.len(), w.finish()))
+        scratch.out = w.finish();
+        Ok(CompressedBlockRef::new(self.id(), data.len(), &scratch.out))
     }
 
-    fn decompress(&self, block: &CompressedBlock) -> Result<Vec<f64>> {
+    fn decompress_into(
+        &self,
+        block: &CompressedBlock,
+        _scratch: &mut CodecScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
         self.check_block(block)?;
         let n = block.n_points as usize;
+        out.clear();
         if n == 0 {
-            return Ok(Vec::new());
+            return Ok(());
         }
+        out.reserve(n);
         let mut r = BitReader::new(&block.payload);
         let mut prev = r.read_bits(64)?;
-        let mut out = Vec::with_capacity(n);
         out.push(f64::from_bits(prev));
         let mut prev_lead: u32 = u32::MAX;
         for _ in 1..n {
@@ -157,7 +186,7 @@ impl Codec for Chimp {
             prev ^= xor;
             out.push(f64::from_bits(prev));
         }
-        Ok(out)
+        Ok(())
     }
 }
 

@@ -11,12 +11,15 @@
 //! [`crate::snappy`] and skips entropy coding entirely.
 
 use crate::bitio::{BitReader, BitWriter};
-use crate::block::{CodecId, CompressedBlock};
+use crate::block::{CodecId, CompressedBlock, CompressedBlockRef};
 use crate::error::{CodecError, Result};
-use crate::huffman::{Decoder, Encoder};
-use crate::lz::{lz77_expand, lz77_tokens, LzConfig, Token, MAX_MATCH, MIN_MATCH};
+use crate::huffman::HuffScratch;
+use crate::lz::{
+    lz77_expand_into, lz77_tokens_into, LzConfig, LzScratch, Token, MAX_MATCH, MIN_MATCH,
+};
+use crate::scratch::CodecScratch;
 use crate::traits::{Codec, CodecKind};
-use crate::util::{bytes_to_f64s, f64s_to_bytes};
+use crate::util::{bytes_to_f64s_into, f64s_to_bytes_into};
 
 /// End-of-block symbol in the literal/length alphabet.
 const EOB: usize = 256;
@@ -145,8 +148,9 @@ fn write_lens(w: &mut BitWriter, lens: &[u32]) {
     }
 }
 
-fn read_lens(r: &mut BitReader<'_>, n: usize) -> Result<Vec<u32>> {
-    let mut lens = Vec::with_capacity(n);
+fn read_lens_into(r: &mut BitReader<'_>, n: usize, lens: &mut Vec<u32>) -> Result<()> {
+    lens.clear();
+    lens.reserve(n);
     while lens.len() < n {
         let nib = r.read_bits(4)? as u32;
         if nib == 0 {
@@ -159,32 +163,60 @@ fn read_lens(r: &mut BitReader<'_>, n: usize) -> Result<Vec<u32>> {
             lens.push(nib);
         }
     }
-    Ok(lens)
+    Ok(())
 }
 
 /// Compress raw bytes with the given LZ configuration.
 pub fn deflate_bytes(data: &[u8], config: LzConfig) -> Vec<u8> {
-    let tokens = lz77_tokens(data, config);
+    let mut out = Vec::new();
+    deflate_bytes_into(
+        data,
+        config,
+        &mut LzScratch::default(),
+        &mut HuffScratch::default(),
+        &mut out,
+    );
+    out
+}
+
+/// [`deflate_bytes`] into a reused output buffer, recycling the LZ77
+/// matcher tables, token buffer and Huffman state across calls.
+pub fn deflate_bytes_into(
+    data: &[u8],
+    config: LzConfig,
+    lz: &mut LzScratch,
+    huff: &mut HuffScratch,
+    out: &mut Vec<u8>,
+) {
+    lz77_tokens_into(data, config, lz);
+    let tokens = &lz.tokens;
     // Frequency pass.
-    let mut lit_freq = vec![0u64; LITLEN_SYMS];
-    let mut dist_freq = vec![0u64; DIST_SYMS];
-    for t in &tokens {
+    huff.lit_freq.clear();
+    huff.lit_freq.resize(LITLEN_SYMS, 0);
+    huff.dist_freq.clear();
+    huff.dist_freq.resize(DIST_SYMS, 0);
+    for t in tokens {
         match *t {
-            Token::Literal(b) => lit_freq[b as usize] += 1,
+            Token::Literal(b) => huff.lit_freq[b as usize] += 1,
             Token::Match { len, dist } => {
-                lit_freq[257 + length_code(len).0] += 1;
-                dist_freq[dist_code(dist).0] += 1;
+                huff.lit_freq[257 + length_code(len).0] += 1;
+                huff.dist_freq[dist_code(dist).0] += 1;
             }
         }
     }
-    lit_freq[EOB] += 1;
-    let lit_enc = Encoder::from_freqs(&lit_freq);
-    let dist_enc = Encoder::from_freqs(&dist_freq);
+    huff.lit_freq[EOB] += 1;
+    huff.lit_enc
+        .rebuild_from_freqs(&huff.lit_freq, &mut huff.work);
+    huff.dist_enc
+        .rebuild_from_freqs(&huff.dist_freq, &mut huff.work);
+    let lit_enc = &huff.lit_enc;
+    let dist_enc = &huff.dist_enc;
 
-    let mut w = BitWriter::with_capacity(data.len() / 2 + 64);
+    let mut w = BitWriter::over(std::mem::take(out));
+    w.reserve(data.len() / 2 + 64);
     write_lens(&mut w, lit_enc.lens());
     write_lens(&mut w, dist_enc.lens());
-    for t in &tokens {
+    for t in tokens {
         match *t {
             Token::Literal(b) => {
                 lit_enc.write(&mut w, b as usize).expect("literal has code");
@@ -200,18 +232,42 @@ pub fn deflate_bytes(data: &[u8], config: LzConfig) -> Vec<u8> {
         }
     }
     lit_enc.write(&mut w, EOB).expect("EOB has code");
-    w.finish()
+    *out = w.finish();
 }
 
 /// Decompress bytes produced by [`deflate_bytes`], expecting `expected_len`
 /// output bytes.
 pub fn inflate_bytes(payload: &[u8], expected_len: usize) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    inflate_bytes_into(
+        payload,
+        expected_len,
+        &mut LzScratch::default(),
+        &mut HuffScratch::default(),
+        &mut out,
+    )?;
+    Ok(out)
+}
+
+/// [`inflate_bytes`] into a reused output buffer, recycling the token
+/// buffer and Huffman decoder state across calls.
+pub fn inflate_bytes_into(
+    payload: &[u8],
+    expected_len: usize,
+    lz: &mut LzScratch,
+    huff: &mut HuffScratch,
+    out: &mut Vec<u8>,
+) -> Result<()> {
     let mut r = BitReader::new(payload);
-    let lit_lens = read_lens(&mut r, LITLEN_SYMS)?;
-    let dist_lens = read_lens(&mut r, DIST_SYMS)?;
-    let lit_dec = Decoder::from_lens(&lit_lens)?;
-    let dist_dec = Decoder::from_lens(&dist_lens)?;
-    let mut tokens: Vec<Token> = Vec::with_capacity(expected_len / 4 + 8);
+    read_lens_into(&mut r, LITLEN_SYMS, &mut huff.lit_lens)?;
+    read_lens_into(&mut r, DIST_SYMS, &mut huff.dist_lens)?;
+    huff.lit_dec.rebuild_from_lens(&huff.lit_lens)?;
+    huff.dist_dec.rebuild_from_lens(&huff.dist_lens)?;
+    let lit_dec = &huff.lit_dec;
+    let dist_dec = &huff.dist_dec;
+    let tokens = &mut lz.tokens;
+    tokens.clear();
+    tokens.reserve(expected_len / 4 + 8);
     loop {
         let sym = lit_dec.read(&mut r)? as usize;
         if sym == EOB {
@@ -235,11 +291,11 @@ pub fn inflate_bytes(payload: &[u8], expected_len: usize) -> Result<Vec<u8>> {
             tokens.push(Token::Match { len, dist });
         }
     }
-    let out = lz77_expand(&tokens, expected_len).map_err(CodecError::Corrupt)?;
+    lz77_expand_into(tokens, expected_len, out).map_err(CodecError::Corrupt)?;
     if out.len() != expected_len {
         return Err(CodecError::Corrupt("inflated length mismatch"));
     }
-    Ok(out)
+    Ok(())
 }
 
 /// A byte-compression codec backed by the DEFLATE-style engine.
@@ -293,18 +349,53 @@ impl Codec for Deflate {
     }
 
     fn compress(&self, data: &[f64]) -> Result<CompressedBlock> {
-        if data.is_empty() {
-            return Err(CodecError::EmptyInput);
-        }
-        let bytes = f64s_to_bytes(data);
-        let payload = deflate_bytes(&bytes, self.config);
-        Ok(CompressedBlock::new(self.id, data.len(), payload))
+        let mut scratch = CodecScratch::new();
+        let n = self.compress_into(data, &mut scratch)?.n_points;
+        Ok(CompressedBlock {
+            codec: self.id,
+            n_points: n,
+            payload: scratch.take_out(),
+        })
     }
 
     fn decompress(&self, block: &CompressedBlock) -> Result<Vec<f64>> {
+        let mut out = Vec::new();
+        self.decompress_into(block, &mut CodecScratch::new(), &mut out)?;
+        Ok(out)
+    }
+
+    fn compress_into<'a>(
+        &self,
+        data: &[f64],
+        scratch: &'a mut CodecScratch,
+    ) -> Result<CompressedBlockRef<'a>> {
+        if data.is_empty() {
+            return Err(CodecError::EmptyInput);
+        }
+        let CodecScratch {
+            out,
+            bytes,
+            lz,
+            huff,
+            ..
+        } = scratch;
+        f64s_to_bytes_into(data, bytes);
+        deflate_bytes_into(bytes, self.config, lz, huff, out);
+        Ok(CompressedBlockRef::new(self.id, data.len(), out))
+    }
+
+    fn decompress_into(
+        &self,
+        block: &CompressedBlock,
+        scratch: &mut CodecScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
         self.check_block(block)?;
-        let bytes = inflate_bytes(&block.payload, block.n_points as usize * 8)?;
-        bytes_to_f64s(&bytes)
+        let CodecScratch {
+            bytes, lz, huff, ..
+        } = scratch;
+        inflate_bytes_into(&block.payload, block.n_points as usize * 8, lz, huff, bytes)?;
+        bytes_to_f64s_into(bytes, out)
     }
 }
 

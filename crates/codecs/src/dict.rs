@@ -7,10 +7,10 @@
 //! size and the ratio exceeds 1.0 — the MAB learns to avoid it.
 
 use crate::bitio::{bits_needed, BitReader, BitWriter};
-use crate::block::{CodecId, CompressedBlock};
+use crate::block::{CodecId, CompressedBlock, CompressedBlockRef};
 use crate::error::{CodecError, Result};
+use crate::scratch::CodecScratch;
 use crate::traits::{Codec, CodecKind};
-use std::collections::HashMap;
 
 /// Dictionary codec. Stateless.
 #[derive(Debug, Default, Clone, Copy)]
@@ -26,13 +26,44 @@ impl Codec for Dict {
     }
 
     fn compress(&self, data: &[f64]) -> Result<CompressedBlock> {
+        let mut scratch = CodecScratch::new();
+        let n = self.compress_into(data, &mut scratch)?.n_points;
+        Ok(CompressedBlock {
+            codec: self.id(),
+            n_points: n,
+            payload: scratch.take_out(),
+        })
+    }
+
+    fn decompress(&self, block: &CompressedBlock) -> Result<Vec<f64>> {
+        let mut out = Vec::new();
+        self.decompress_into(block, &mut CodecScratch::new(), &mut out)?;
+        Ok(out)
+    }
+
+    fn compress_into<'a>(
+        &self,
+        data: &[f64],
+        scratch: &'a mut CodecScratch,
+    ) -> Result<CompressedBlockRef<'a>> {
         if data.is_empty() {
             return Err(CodecError::EmptyInput);
         }
+        let CodecScratch {
+            out,
+            u64s,
+            u64s_b,
+            map,
+            ..
+        } = scratch;
         // First pass: collect distinct bit patterns in first-seen order.
-        let mut index: HashMap<u64, u32> = HashMap::new();
-        let mut entries: Vec<u64> = Vec::new();
-        let mut codes: Vec<u64> = Vec::with_capacity(data.len());
+        let index = map;
+        index.clear();
+        let entries = u64s;
+        entries.clear();
+        let codes = u64s_b;
+        codes.clear();
+        codes.reserve(data.len());
         for &v in data {
             let bits = v.to_bits();
             let code = *index.entry(bits).or_insert_with(|| {
@@ -42,41 +73,52 @@ impl Codec for Dict {
             codes.push(code as u64);
         }
         let code_width = bits_needed(entries.len() as u64 - 1).max(1);
-        let mut w = BitWriter::with_capacity(
-            4 + entries.len() * 8 + (data.len() * code_width as usize).div_ceil(8),
-        );
+        let mut w = BitWriter::over(std::mem::take(out));
+        w.reserve(4 + entries.len() * 8 + (data.len() * code_width as usize).div_ceil(8));
         w.write_bits(entries.len() as u64, 32);
-        w.write_run(&entries, 64);
-        w.write_run(&codes, code_width);
-        Ok(CompressedBlock::new(self.id(), data.len(), w.finish()))
+        w.write_run(entries, 64);
+        w.write_run(codes, code_width);
+        *out = w.finish();
+        Ok(CompressedBlockRef::new(self.id(), data.len(), out))
     }
 
-    fn decompress(&self, block: &CompressedBlock) -> Result<Vec<f64>> {
+    fn decompress_into(
+        &self,
+        block: &CompressedBlock,
+        scratch: &mut CodecScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
         self.check_block(block)?;
         let n = block.n_points as usize;
+        out.clear();
         if n == 0 {
-            return Ok(Vec::new());
+            return Ok(());
         }
+        let CodecScratch { u64s, u64s_b, .. } = scratch;
         let mut r = BitReader::new(&block.payload);
         let dict_len = r.read_bits(32)? as usize;
         if dict_len == 0 || dict_len > n {
             return Err(CodecError::Corrupt("dictionary size out of range"));
         }
-        let mut entry_bits = vec![0u64; dict_len];
-        r.read_run(&mut entry_bits, 64)?;
-        let entries: Vec<f64> = entry_bits.into_iter().map(f64::from_bits).collect();
+        let entry_bits = u64s;
+        entry_bits.clear();
+        entry_bits.resize(dict_len, 0);
+        r.read_run(entry_bits, 64)?;
         let code_width = bits_needed(dict_len as u64 - 1).max(1);
-        let mut codes = vec![0u64; n];
-        r.read_run(&mut codes, code_width)?;
-        let mut out = Vec::with_capacity(n);
-        for code in codes {
-            let v = entries
+        let codes = u64s_b;
+        codes.clear();
+        codes.resize(n, 0);
+        r.read_run(codes, code_width)?;
+        out.reserve(n);
+        for &code in codes.iter() {
+            let v = entry_bits
                 .get(code as usize)
                 .copied()
+                .map(f64::from_bits)
                 .ok_or(CodecError::Corrupt("code beyond dictionary"))?;
             out.push(v);
         }
-        Ok(out)
+        Ok(())
     }
 }
 

@@ -17,6 +17,7 @@ use crate::paa::Paa;
 use crate::pla::decode_knots;
 use crate::registry::CodecRegistry;
 use crate::rrd::RrdSample;
+use crate::scratch::CodecScratch;
 
 /// The aggregation operators supported in the compressed domain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -165,15 +166,28 @@ pub fn direct_agg(block: &CompressedBlock, op: AggOp) -> Result<Option<f64>> {
 /// Convenience wrapper that falls back to decompress-then-aggregate for
 /// codecs without a direct path.
 pub fn agg_with_fallback(reg: &CodecRegistry, block: &CompressedBlock, op: AggOp) -> Result<f64> {
+    agg_with_scratch(reg, block, op, &mut CodecScratch::new(), &mut Vec::new())
+}
+
+/// [`agg_with_fallback`] with caller-owned buffers: when the codec has no
+/// direct path the decompression runs through [`CodecRegistry::decompress_into`]
+/// so repeated queries reuse `scratch`/`buf` instead of allocating.
+pub fn agg_with_scratch(
+    reg: &CodecRegistry,
+    block: &CompressedBlock,
+    op: AggOp,
+    scratch: &mut CodecScratch,
+    buf: &mut Vec<f64>,
+) -> Result<f64> {
     if let Some(v) = direct_agg(block, op)? {
         return Ok(v);
     }
-    let data = reg.decompress(block)?;
+    reg.decompress_into(block, scratch, buf)?;
     Ok(match op {
-        AggOp::Sum => data.iter().sum(),
-        AggOp::Avg => data.iter().sum::<f64>() / data.len().max(1) as f64,
-        AggOp::Max => data.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
-        AggOp::Min => data.iter().cloned().fold(f64::INFINITY, f64::min),
+        AggOp::Sum => buf.iter().sum(),
+        AggOp::Avg => buf.iter().sum::<f64>() / buf.len().max(1) as f64,
+        AggOp::Max => buf.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        AggOp::Min => buf.iter().cloned().fold(f64::INFINITY, f64::min),
     })
 }
 

@@ -13,9 +13,11 @@
 //! Decompression re-rounds to the declared precision, the same lossless
 //! convention as Sprintz/BUFF.
 
-use crate::block::{CodecId, CompressedBlock};
+use crate::bitio::{BitReader, BitWriter};
+use crate::block::{CodecId, CompressedBlock, CompressedBlockRef};
 use crate::error::{CodecError, Result};
-use crate::gorilla::Gorilla;
+use crate::gorilla::{gorilla_decode_into, gorilla_encode};
+use crate::scratch::CodecScratch;
 use crate::traits::{Codec, CodecKind};
 use crate::util::round_to_precision;
 
@@ -90,6 +92,26 @@ impl Codec for Elf {
     }
 
     fn compress(&self, data: &[f64]) -> Result<CompressedBlock> {
+        let mut scratch = CodecScratch::new();
+        let n = self.compress_into(data, &mut scratch)?.n_points;
+        Ok(CompressedBlock {
+            codec: self.id(),
+            n_points: n,
+            payload: scratch.take_out(),
+        })
+    }
+
+    fn decompress(&self, block: &CompressedBlock) -> Result<Vec<f64>> {
+        let mut out = Vec::new();
+        self.decompress_into(block, &mut CodecScratch::new(), &mut out)?;
+        Ok(out)
+    }
+
+    fn compress_into<'a>(
+        &self,
+        data: &[f64],
+        scratch: &'a mut CodecScratch,
+    ) -> Result<CompressedBlockRef<'a>> {
         if data.is_empty() {
             return Err(CodecError::EmptyInput);
         }
@@ -98,39 +120,45 @@ impl Codec for Elf {
                 return Err(CodecError::UnsupportedValue("non-finite float"));
             }
         }
-        let erased: Vec<f64> = data
-            .iter()
-            .map(|&v| Self::erase(v, self.precision))
-            .collect();
-        let inner = Gorilla.compress(&erased)?;
-        let mut payload = Vec::with_capacity(1 + inner.payload.len());
-        payload.push(self.precision);
-        payload.extend_from_slice(&inner.payload);
-        Ok(CompressedBlock::new(self.id(), data.len(), payload))
+        let CodecScratch { out, f64s, .. } = scratch;
+        f64s.clear();
+        f64s.reserve(data.len());
+        f64s.extend(data.iter().map(|&v| Self::erase(v, self.precision)));
+        // Precision byte, then the Gorilla stream: writing the byte through
+        // the same writer leaves it byte-aligned, so the payload is
+        // identical to a prepended header.
+        let mut w = BitWriter::over(std::mem::take(out));
+        w.reserve(1 + data.len() * 8);
+        w.write_bits(self.precision as u64, 8);
+        gorilla_encode(f64s, &mut w);
+        *out = w.finish();
+        Ok(CompressedBlockRef::new(self.id(), data.len(), out))
     }
 
-    fn decompress(&self, block: &CompressedBlock) -> Result<Vec<f64>> {
+    fn decompress_into(
+        &self,
+        block: &CompressedBlock,
+        _scratch: &mut CodecScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
         self.check_block(block)?;
         if block.payload.is_empty() {
             return Err(CodecError::Corrupt("elf payload empty"));
         }
         let precision = block.payload[0];
-        let inner = CompressedBlock::new(
-            CodecId::Gorilla,
-            block.n_points as usize,
-            block.payload[1..].to_vec(),
-        );
-        let erased = Gorilla.decompress(&inner)?;
-        Ok(erased
-            .into_iter()
-            .map(|v| round_to_precision(v, precision.min(12)))
-            .collect())
+        let mut r = BitReader::new(&block.payload[1..]);
+        gorilla_decode_into(&mut r, block.n_points as usize, out)?;
+        for v in out.iter_mut() {
+            *v = round_to_precision(*v, precision.min(12));
+        }
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gorilla::Gorilla;
 
     fn sample(n: usize, precision: u8) -> Vec<f64> {
         (0..n)

@@ -13,9 +13,85 @@
 //! exponent and high mantissa bits.
 
 use crate::bitio::{BitReader, BitWriter};
-use crate::block::{CodecId, CompressedBlock};
+use crate::block::{CodecId, CompressedBlock, CompressedBlockRef};
 use crate::error::{CodecError, Result};
+use crate::scratch::CodecScratch;
 use crate::traits::{Codec, CodecKind};
+
+/// Encode a non-empty segment into an existing bit stream. Shared with the
+/// Elf codec, which prepends a precision byte to the same stream.
+pub(crate) fn gorilla_encode(data: &[f64], w: &mut BitWriter) {
+    let mut prev = data[0].to_bits();
+    w.write_bits(prev, 64);
+    // Window state: previous leading-zero count and meaningful length.
+    let mut prev_lead: u32 = u32::MAX; // "no window yet"
+    let mut prev_len: u32 = 0;
+    for &v in &data[1..] {
+        let bits = v.to_bits();
+        let xor = bits ^ prev;
+        prev = bits;
+        if xor == 0 {
+            w.write_bit(false);
+            continue;
+        }
+        w.write_bit(true);
+        let lead = xor.leading_zeros().min(63);
+        let trail = xor.trailing_zeros();
+        let len = 64 - lead - trail;
+        if prev_lead != u32::MAX && lead >= prev_lead && trail >= 64 - prev_lead - prev_len {
+            // Previous window still covers the meaningful bits.
+            w.write_bit(false);
+            let prev_trail = 64 - prev_lead - prev_len;
+            w.write_bits(xor >> prev_trail, prev_len);
+        } else {
+            w.write_bit(true);
+            w.write_bits(lead as u64, 6);
+            w.write_bits((len - 1) as u64, 6);
+            w.write_bits(xor >> trail, len);
+            prev_lead = lead;
+            prev_len = len;
+        }
+    }
+}
+
+/// Decode `n` values from a bit stream into a reused output vector
+/// (cleared, capacity kept). Shared with the Elf codec.
+pub(crate) fn gorilla_decode_into(
+    r: &mut BitReader<'_>,
+    n: usize,
+    out: &mut Vec<f64>,
+) -> Result<()> {
+    out.clear();
+    if n == 0 {
+        return Ok(());
+    }
+    out.reserve(n);
+    let mut prev = r.read_bits(64)?;
+    out.push(f64::from_bits(prev));
+    let mut prev_lead: u32 = 0;
+    let mut prev_len: u32 = 0;
+    for _ in 1..n {
+        if !r.read_bit()? {
+            out.push(f64::from_bits(prev));
+            continue;
+        }
+        if r.read_bit()? {
+            prev_lead = r.read_bits(6)? as u32;
+            prev_len = r.read_bits(6)? as u32 + 1;
+            if prev_lead + prev_len > 64 {
+                return Err(CodecError::Corrupt("gorilla window exceeds 64 bits"));
+            }
+        } else if prev_len == 0 {
+            return Err(CodecError::Corrupt("window reuse before any window"));
+        }
+        let meaningful = r.read_bits(prev_len)?;
+        let trail = 64 - prev_lead - prev_len;
+        let xor = meaningful << trail;
+        prev ^= xor;
+        out.push(f64::from_bits(prev));
+    }
+    Ok(())
+}
 
 /// Gorilla codec. Stateless; construct freely.
 #[derive(Debug, Default, Clone, Copy)]
@@ -31,77 +107,45 @@ impl Codec for Gorilla {
     }
 
     fn compress(&self, data: &[f64]) -> Result<CompressedBlock> {
-        if data.is_empty() {
-            return Err(CodecError::EmptyInput);
-        }
-        let mut w = BitWriter::with_capacity(data.len() * 8);
-        let mut prev = data[0].to_bits();
-        w.write_bits(prev, 64);
-        // Window state: previous leading-zero count and meaningful length.
-        let mut prev_lead: u32 = u32::MAX; // "no window yet"
-        let mut prev_len: u32 = 0;
-        for &v in &data[1..] {
-            let bits = v.to_bits();
-            let xor = bits ^ prev;
-            prev = bits;
-            if xor == 0 {
-                w.write_bit(false);
-                continue;
-            }
-            w.write_bit(true);
-            let lead = xor.leading_zeros().min(63);
-            let trail = xor.trailing_zeros();
-            let len = 64 - lead - trail;
-            if prev_lead != u32::MAX && lead >= prev_lead && trail >= 64 - prev_lead - prev_len {
-                // Previous window still covers the meaningful bits.
-                w.write_bit(false);
-                let prev_trail = 64 - prev_lead - prev_len;
-                w.write_bits(xor >> prev_trail, prev_len);
-            } else {
-                w.write_bit(true);
-                w.write_bits(lead as u64, 6);
-                w.write_bits((len - 1) as u64, 6);
-                w.write_bits(xor >> trail, len);
-                prev_lead = lead;
-                prev_len = len;
-            }
-        }
-        Ok(CompressedBlock::new(self.id(), data.len(), w.finish()))
+        let mut scratch = CodecScratch::new();
+        let n = self.compress_into(data, &mut scratch)?.n_points;
+        Ok(CompressedBlock {
+            codec: self.id(),
+            n_points: n,
+            payload: scratch.take_out(),
+        })
     }
 
     fn decompress(&self, block: &CompressedBlock) -> Result<Vec<f64>> {
-        self.check_block(block)?;
-        let n = block.n_points as usize;
-        if n == 0 {
-            return Ok(Vec::new());
-        }
-        let mut r = BitReader::new(&block.payload);
-        let mut prev = r.read_bits(64)?;
-        let mut out = Vec::with_capacity(n);
-        out.push(f64::from_bits(prev));
-        let mut prev_lead: u32 = 0;
-        let mut prev_len: u32 = 0;
-        for _ in 1..n {
-            if !r.read_bit()? {
-                out.push(f64::from_bits(prev));
-                continue;
-            }
-            if r.read_bit()? {
-                prev_lead = r.read_bits(6)? as u32;
-                prev_len = r.read_bits(6)? as u32 + 1;
-                if prev_lead + prev_len > 64 {
-                    return Err(CodecError::Corrupt("gorilla window exceeds 64 bits"));
-                }
-            } else if prev_len == 0 {
-                return Err(CodecError::Corrupt("window reuse before any window"));
-            }
-            let meaningful = r.read_bits(prev_len)?;
-            let trail = 64 - prev_lead - prev_len;
-            let xor = meaningful << trail;
-            prev ^= xor;
-            out.push(f64::from_bits(prev));
-        }
+        let mut out = Vec::new();
+        self.decompress_into(block, &mut CodecScratch::new(), &mut out)?;
         Ok(out)
+    }
+
+    fn compress_into<'a>(
+        &self,
+        data: &[f64],
+        scratch: &'a mut CodecScratch,
+    ) -> Result<CompressedBlockRef<'a>> {
+        if data.is_empty() {
+            return Err(CodecError::EmptyInput);
+        }
+        let mut w = BitWriter::over(std::mem::take(&mut scratch.out));
+        w.reserve(data.len() * 8);
+        gorilla_encode(data, &mut w);
+        scratch.out = w.finish();
+        Ok(CompressedBlockRef::new(self.id(), data.len(), &scratch.out))
+    }
+
+    fn decompress_into(
+        &self,
+        block: &CompressedBlock,
+        _scratch: &mut CodecScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        self.check_block(block)?;
+        let mut r = BitReader::new(&block.payload);
+        gorilla_decode_into(&mut r, block.n_points as usize, out)
     }
 }
 

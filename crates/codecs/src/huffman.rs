@@ -8,10 +8,24 @@
 
 use crate::bitio::{BitReader, BitWriter};
 use crate::error::{CodecError, Result};
-use std::collections::BinaryHeap;
 
 /// DEFLATE's maximum code length.
 pub const MAX_CODE_LEN: u32 = 15;
+
+/// Reusable workspace for [`code_lengths_into`]: the Huffman tree build's
+/// per-call vectors, recycled across segments.
+#[derive(Debug, Default)]
+pub struct HuffWork {
+    used: Vec<usize>,
+    parent: Vec<usize>,
+    /// Leaves as `(freq, node)` pairs sorted ascending — the tree build's
+    /// first merge queue.
+    leaves: Vec<(u64, u32)>,
+    /// Internal-node freqs in creation order — the second merge queue.
+    internal: Vec<u64>,
+    depths: Vec<u32>,
+    order: Vec<(u32, u64, u32)>,
+}
 
 /// Compute code lengths (0 = unused symbol) for the given frequencies.
 ///
@@ -19,72 +33,89 @@ pub const MAX_CODE_LEN: u32 = 15;
 /// `1..=MAX_CODE_LEN`, and the lengths satisfy Kraft equality when two or
 /// more symbols are used. A single used symbol gets length 1.
 pub fn code_lengths(freqs: &[u64]) -> Vec<u32> {
+    let mut lens = Vec::new();
+    code_lengths_into(freqs, &mut lens, &mut HuffWork::default());
+    lens
+}
+
+/// [`code_lengths`] into a reused output vector and workspace.
+///
+/// The tree is built with the two-queue merge: leaves sorted by
+/// `(freq, node)` form one queue, internal nodes (whose freqs are
+/// non-decreasing in creation order, the classic invariant) the other, and
+/// each step combines the two smallest heads. Because internal node ids
+/// always exceed leaf ids, "leaf wins frequency ties" reproduces the exact
+/// pop order of a `(freq, node)` min-heap — same trees, same bytes — at
+/// O(n log n) for one flat sort instead of 2n heap operations.
+pub fn code_lengths_into(freqs: &[u64], lens: &mut Vec<u32>, work: &mut HuffWork) {
     let n = freqs.len();
-    let used: Vec<usize> = (0..n).filter(|&i| freqs[i] > 0).collect();
-    let mut lens = vec![0u32; n];
+    lens.clear();
+    lens.resize(n, 0);
+    let HuffWork {
+        used,
+        parent,
+        leaves,
+        internal,
+        depths,
+        order,
+    } = work;
+    used.clear();
+    used.extend((0..n).filter(|&i| freqs[i] > 0));
     match used.len() {
-        0 => return lens,
+        0 => return,
         1 => {
             lens[used[0]] = 1;
-            return lens;
+            return;
         }
         _ => {}
     }
 
-    // Heap of (Reverse(freq), node index). Internal nodes appended after leaves.
-    #[derive(PartialEq, Eq)]
-    struct Item {
-        freq: u64,
-        node: usize,
-    }
-    impl Ord for Item {
-        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            // Reverse for a min-heap; tie-break on node index for determinism.
-            other.freq.cmp(&self.freq).then(other.node.cmp(&self.node))
-        }
-    }
-    impl PartialOrd for Item {
-        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-            Some(self.cmp(other))
-        }
+    let n_used = used.len();
+    leaves.clear();
+    leaves.extend(
+        used.iter()
+            .enumerate()
+            .map(|(leaf, &sym)| (freqs[sym], leaf as u32)),
+    );
+    leaves.sort_unstable();
+    // Nodes are numbered leaves-first (position in `used`), then internal
+    // nodes in creation order; `parent` spans all 2n-1 of them.
+    parent.clear();
+    parent.resize(2 * n_used - 1, usize::MAX);
+    internal.clear();
+    let mut li = 0usize; // next unconsumed sorted leaf
+    let mut ii = 0usize; // next unconsumed internal node
+    for step in 0..n_used - 1 {
+        let node = n_used + step;
+        let mut pick = || {
+            // Leaf wins ties: its node id is smaller than any internal's.
+            if li < n_used && (ii >= internal.len() || leaves[li].0 <= internal[ii]) {
+                li += 1;
+                (leaves[li - 1].0, leaves[li - 1].1 as usize)
+            } else {
+                ii += 1;
+                (internal[ii - 1], n_used + ii - 1)
+            }
+        };
+        let (fa, a) = pick();
+        let (fb, b) = pick();
+        parent[a] = node;
+        parent[b] = node;
+        internal.push(fa.saturating_add(fb));
     }
 
-    let mut parent: Vec<usize> = vec![usize::MAX; used.len()];
-    let mut heap: BinaryHeap<Item> = used
-        .iter()
-        .enumerate()
-        .map(|(leaf, &sym)| Item {
-            freq: freqs[sym],
-            node: leaf,
-        })
-        .collect();
-    while heap.len() > 1 {
-        let a = heap.pop().expect("len > 1");
-        let b = heap.pop().expect("len > 1");
-        let node = parent.len();
-        parent.push(usize::MAX);
-        parent[a.node] = node;
-        parent[b.node] = node;
-        heap.push(Item {
-            freq: a.freq.saturating_add(b.freq),
-            node,
-        });
+    // Depths top-down: a parent is always created after its children, so a
+    // reverse walk over node ids resolves every depth in one pass.
+    let root = 2 * n_used - 2;
+    depths.clear();
+    depths.resize(2 * n_used - 1, 0);
+    for node in (0..root).rev() {
+        depths[node] = depths[parent[node]] + 1;
     }
-    let root = heap.pop().expect("one root").node;
-
-    // Depth of each leaf = walk to root.
-    let mut counts = vec![0u64; (MAX_CODE_LEN + 1) as usize];
-    let mut leaf_depths = vec![0u32; used.len()];
-    for (leaf, depth_slot) in leaf_depths.iter_mut().enumerate() {
-        let mut d = 0u32;
-        let mut cur = leaf;
-        while cur != root {
-            cur = parent[cur];
-            d += 1;
-        }
-        let d = d.min(MAX_CODE_LEN);
-        *depth_slot = d;
-        counts[d as usize] += 1;
+    let mut counts = [0u64; (MAX_CODE_LEN + 1) as usize];
+    for leaf in 0..n_used {
+        depths[leaf] = depths[leaf].min(MAX_CODE_LEN);
+        counts[depths[leaf] as usize] += 1;
     }
 
     // Kraft repair: clamping may have pushed the sum above 1. While the sum
@@ -116,29 +147,35 @@ pub fn code_lengths(freqs: &[u64]) -> Vec<u32> {
             break; // All at max length already; cannot happen with n <= 2^15.
         }
     }
-    // Re-assign depths canonically: sort leaves by original depth (stable by
-    // frequency) and hand out the repaired level populations.
-    let mut order: Vec<usize> = (0..used.len()).collect();
-    order.sort_by(|&a, &b| {
-        leaf_depths[a]
-            .cmp(&leaf_depths[b])
-            .then(freqs[used[b]].cmp(&freqs[used[a]]))
-            .then(used[a].cmp(&used[b]))
-    });
+    // Re-assign depths canonically: sort leaves by original depth (ties by
+    // frequency then symbol — a total order, so the unstable sort is
+    // deterministic and allocation-free) and hand out the repaired level
+    // populations. Keys are inline `(depth, !freq, leaf)` tuples — bitwise
+    // NOT reverses the frequency order, and ascending leaf index equals
+    // ascending symbol — so the sort never chases pointers to compare.
+    order.clear();
+    order.extend((0..n_used).map(|leaf| (depths[leaf], !freqs[used[leaf]], leaf as u32)));
+    order.sort_unstable();
     let mut level = 1usize;
-    for leaf in order {
+    for &(_, _, leaf) in order.iter() {
         while counts[level] == 0 {
             level += 1;
         }
         counts[level] -= 1;
-        lens[used[leaf]] = level as u32;
+        lens[used[leaf as usize]] = level as u32;
     }
-    lens
 }
 
 /// Assign canonical codes to lengths. Returns `codes[i]` valid when
 /// `lens[i] > 0`.
 pub fn canonical_codes(lens: &[u32]) -> Vec<u32> {
+    let mut codes = Vec::new();
+    canonical_codes_into(lens, &mut codes);
+    codes
+}
+
+/// [`canonical_codes`] into a reused output vector (cleared, capacity kept).
+pub fn canonical_codes_into(lens: &[u32], codes: &mut Vec<u32>) {
     let mut count = [0u32; (MAX_CODE_LEN + 1) as usize];
     for &l in lens {
         if l > 0 {
@@ -151,18 +188,18 @@ pub fn canonical_codes(lens: &[u32]) -> Vec<u32> {
         code = (code + count[len - 1]) << 1;
         next[len] = code;
     }
-    let mut codes = vec![0u32; lens.len()];
+    codes.clear();
+    codes.resize(lens.len(), 0);
     for (i, &l) in lens.iter().enumerate() {
         if l > 0 {
             codes[i] = next[l as usize];
             next[l as usize] += 1;
         }
     }
-    codes
 }
 
 /// Encoder: symbol → (code, length).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Encoder {
     codes: Vec<u32>,
     lens: Vec<u32>,
@@ -180,6 +217,20 @@ impl Encoder {
     pub fn from_lens(lens: Vec<u32>) -> Self {
         let codes = canonical_codes(&lens);
         Self { codes, lens }
+    }
+
+    /// Rebuild this encoder in place from symbol frequencies, reusing its
+    /// code/length vectors and the supplied tree workspace.
+    pub fn rebuild_from_freqs(&mut self, freqs: &[u64], work: &mut HuffWork) {
+        code_lengths_into(freqs, &mut self.lens, work);
+        canonical_codes_into(&self.lens, &mut self.codes);
+    }
+
+    /// Rebuild this encoder in place from explicit code lengths.
+    pub fn rebuild_from_lens(&mut self, lens: &[u32]) {
+        self.lens.clear();
+        self.lens.extend_from_slice(lens);
+        canonical_codes_into(&self.lens, &mut self.codes);
     }
 
     /// The code lengths (what gets transmitted).
@@ -200,7 +251,7 @@ impl Encoder {
 }
 
 /// Canonical decoder driven by per-length first-code tables.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Decoder {
     /// For each length: (first code, first index into `symbols`).
     first_code: [u32; (MAX_CODE_LEN + 1) as usize],
@@ -213,6 +264,14 @@ pub struct Decoder {
 impl Decoder {
     /// Build a decoder from code lengths.
     pub fn from_lens(lens: &[u32]) -> Result<Self> {
+        let mut dec = Self::default();
+        dec.rebuild_from_lens(lens)?;
+        Ok(dec)
+    }
+
+    /// Rebuild this decoder in place from code lengths, reusing its symbol
+    /// vector's capacity.
+    pub fn rebuild_from_lens(&mut self, lens: &[u32]) -> Result<()> {
         let mut count = [0u32; (MAX_CODE_LEN + 1) as usize];
         for &l in lens {
             if l as usize >= count.len() {
@@ -222,11 +281,12 @@ impl Decoder {
                 count[l as usize] += 1;
             }
         }
-        let mut symbols = Vec::with_capacity(lens.len());
+        self.symbols.clear();
+        self.symbols.reserve(lens.len());
         for len in 1..=MAX_CODE_LEN {
             for (sym, &l) in lens.iter().enumerate() {
                 if l == len {
-                    symbols.push(sym as u32);
+                    self.symbols.push(sym as u32);
                 }
             }
         }
@@ -240,12 +300,10 @@ impl Decoder {
             first_index[len] = index;
             index += count[len];
         }
-        Ok(Self {
-            first_code,
-            first_index,
-            count,
-            symbols,
-        })
+        self.first_code = first_code;
+        self.first_index = first_index;
+        self.count = count;
+        Ok(())
     }
 
     /// Decode one symbol.
@@ -268,6 +326,22 @@ impl Decoder {
         }
         Err(CodecError::Corrupt("huffman code too long"))
     }
+}
+
+/// Reusable Huffman state for the DEFLATE-family codecs: frequency tables,
+/// canonical encoders/decoders rebuilt in place per block, transmitted
+/// length buffers and the shared tree-build workspace.
+#[derive(Debug, Default)]
+pub struct HuffScratch {
+    pub(crate) lit_freq: Vec<u64>,
+    pub(crate) dist_freq: Vec<u64>,
+    pub(crate) lit_enc: Encoder,
+    pub(crate) dist_enc: Encoder,
+    pub(crate) lit_dec: Decoder,
+    pub(crate) dist_dec: Decoder,
+    pub(crate) lit_lens: Vec<u32>,
+    pub(crate) dist_lens: Vec<u32>,
+    pub(crate) work: HuffWork,
 }
 
 #[cfg(test)]

@@ -50,13 +50,15 @@ pub mod raw;
 pub mod registry;
 pub mod rle;
 pub mod rrd;
+pub mod scratch;
 pub mod snappy;
 pub mod sprintz;
 pub mod traits;
 pub mod util;
 
-pub use block::{CodecId, CompressedBlock, POINT_BYTES};
+pub use block::{CodecId, CompressedBlock, CompressedBlockRef, POINT_BYTES};
 pub use direct::{agg_with_fallback, direct_agg, AggOp};
 pub use error::{CodecError, Result};
 pub use registry::CodecRegistry;
+pub use scratch::CodecScratch;
 pub use traits::{Codec, CodecKind, LossyCodec};

@@ -98,68 +98,126 @@ fn hash3(data: &[u8], i: usize) -> usize {
     ((v.wrapping_mul(0x9E37_79B1)) >> (32 - HASH_BITS)) as usize
 }
 
+/// Length of the common prefix of `data[a..]` and `data[b..]`, capped at
+/// `max`. Compares a word at a time; the first differing byte is located
+/// with a trailing-zeros count on the XOR of the mismatching words.
 #[inline]
 fn match_len(data: &[u8], a: usize, b: usize, max: usize) -> usize {
     let mut len = 0;
+    while len + 8 <= max {
+        let wa = u64::from_le_bytes(data[a + len..a + len + 8].try_into().unwrap());
+        let wb = u64::from_le_bytes(data[b + len..b + len + 8].try_into().unwrap());
+        let x = wa ^ wb;
+        if x != 0 {
+            return len + (x.trailing_zeros() / 8) as usize;
+        }
+        len += 8;
+    }
     while len < max && data[a + len] == data[b + len] {
         len += 1;
     }
     len
 }
 
+/// Reusable LZ77 state: the matcher's hash chains and the token buffer.
+///
+/// The hash head table is 128 KiB. Entries are generation-stamped — a
+/// stored value is `base + pos + 1`, valid only while it exceeds the
+/// current `base` — so successive calls reuse the table with **no per-call
+/// clearing** (zeroing head + chain links costs more than the matching
+/// itself on segment-sized inputs). `prev` entries are always written
+/// before they are read within a call, so they are never cleared either.
+#[derive(Debug, Default)]
+pub struct LzScratch {
+    /// Tokens produced by the most recent [`lz77_tokens_into`] call.
+    pub tokens: Vec<Token>,
+    head: Vec<u32>,
+    prev: Vec<u32>,
+    /// Stamp base for the current call; advanced by `data.len() + 1` per
+    /// call, reset (with a table clear) when it nears `u32::MAX`.
+    base: u32,
+}
+
+impl LzScratch {
+    /// Prepare the tables for a call over `len` bytes and return the stamp
+    /// base for this generation.
+    fn begin(&mut self, len: usize) -> u32 {
+        if self.head.len() < HASH_SIZE {
+            self.head.resize(HASH_SIZE, 0);
+        }
+        if self.prev.len() < len {
+            self.prev.resize(len, 0);
+        }
+        if u32::MAX as usize - self.base as usize <= len + 1 {
+            // Stamp space exhausted (once per ~4 GiB processed): start over.
+            self.head.fill(0);
+            self.base = 0;
+        }
+        let base = self.base;
+        self.base = base + len as u32 + 1;
+        base
+    }
+}
+
 struct Matcher<'a> {
     data: &'a [u8],
-    head: Vec<i32>,
-    prev: Vec<i32>,
+    head: &'a mut [u32],
+    prev: &'a mut [u32],
+    /// Stamps at or below this value are stale entries from earlier calls.
+    base: u32,
     max_chain: usize,
 }
 
 impl<'a> Matcher<'a> {
-    fn new(data: &'a [u8], max_chain: usize) -> Self {
-        Self {
-            data,
-            head: vec![-1; HASH_SIZE],
-            prev: vec![-1; data.len()],
-            max_chain,
-        }
+    /// Hash of position `i`, or `None` past the last full 3-gram. Computed
+    /// once per examined position and shared between `best_match` and
+    /// `insert_hashed`.
+    #[inline]
+    fn hash_at(&self, i: usize) -> Option<usize> {
+        (i + MIN_MATCH <= self.data.len()).then(|| hash3(self.data, i))
     }
 
     /// Insert position `i` into the hash chains.
     #[inline]
     fn insert(&mut self, i: usize) {
-        if i + MIN_MATCH <= self.data.len() {
-            let h = hash3(self.data, i);
-            self.prev[i] = self.head[h];
-            self.head[h] = i as i32;
+        if let Some(h) = self.hash_at(i) {
+            self.insert_hashed(i, h);
         }
     }
 
-    /// Find the best match starting at `i`, or `None`.
-    fn best_match(&self, i: usize) -> Option<(usize, usize)> {
-        if i + MIN_MATCH > self.data.len() {
-            return None;
-        }
+    /// [`Matcher::insert`] with the hash already computed.
+    #[inline]
+    fn insert_hashed(&mut self, i: usize, h: usize) {
+        self.prev[i] = self.head[h];
+        self.head[h] = self.base + i as u32 + 1;
+    }
+
+    /// Find the best match starting at `i` (whose hash is `h`), or `None`.
+    fn best_match(&self, i: usize, h: usize) -> Option<(usize, usize)> {
         let max = (self.data.len() - i).min(MAX_MATCH);
-        let h = hash3(self.data, i);
-        let mut cand = self.head[h];
+        let mut stamp = self.head[h];
         let mut best_len = MIN_MATCH - 1;
         let mut best_dist = 0usize;
         let mut chain = self.max_chain;
         let min_pos = i.saturating_sub(WINDOW);
-        while cand >= 0 && chain > 0 {
-            let c = cand as usize;
+        while stamp > self.base && chain > 0 {
+            let c = (stamp - self.base - 1) as usize;
             if c < min_pos {
                 break;
             }
-            let len = match_len(self.data, c, i, max);
-            if len > best_len {
-                best_len = len;
-                best_dist = i - c;
-                if len == max {
-                    break;
+            // A candidate can only improve on the best so far if it agrees
+            // at the first currently-unmatched byte (zlib's guard check).
+            if data_at(self.data, c + best_len) == data_at(self.data, i + best_len) {
+                let len = match_len(self.data, c, i, max);
+                if len > best_len {
+                    best_len = len;
+                    best_dist = i - c;
+                    if len == max {
+                        break;
+                    }
                 }
             }
-            cand = self.prev[c];
+            stamp = self.prev[c];
             chain -= 1;
         }
         if best_len >= MIN_MATCH {
@@ -170,23 +228,58 @@ impl<'a> Matcher<'a> {
     }
 }
 
+/// `data[i]` or a sentinel past the end (guard reads may probe one byte
+/// beyond the longest possible match).
+#[inline]
+fn data_at(data: &[u8], i: usize) -> u16 {
+    data.get(i).map_or(0x100, |&b| b as u16)
+}
+
 /// Tokenize `data` with the given configuration.
 pub fn lz77_tokens(data: &[u8], config: LzConfig) -> Vec<Token> {
-    let mut tokens = Vec::with_capacity(data.len() / 2 + 8);
+    let mut scratch = LzScratch::default();
+    lz77_tokens_into(data, config, &mut scratch);
+    scratch.tokens
+}
+
+/// [`lz77_tokens`] into a reusable scratch: the result lands in
+/// `scratch.tokens` and the matcher state is recycled across calls.
+pub fn lz77_tokens_into(data: &[u8], config: LzConfig, scratch: &mut LzScratch) {
+    let base = scratch.begin(data.len());
+    let (tokens, mut m) = {
+        // Split the borrow: tokens grow while the matcher holds the tables.
+        let LzScratch {
+            tokens, head, prev, ..
+        } = scratch;
+        tokens.clear();
+        tokens.reserve(data.len() / 2 + 8);
+        (
+            tokens,
+            Matcher {
+                data,
+                head,
+                prev,
+                base,
+                max_chain: config.max_chain,
+            },
+        )
+    };
     if data.is_empty() {
-        return tokens;
+        return;
     }
-    let mut m = Matcher::new(data, config.max_chain);
     let mut i = 0usize;
     while i < data.len() {
-        let found = m.best_match(i);
+        let hash = m.hash_at(i);
+        let found = hash.and_then(|h| m.best_match(i, h));
         match found {
             Some((mut len, mut dist)) => {
+                let h = hash.expect("a match implies a full 3-gram");
                 if config.lazy && i + 1 < data.len() {
                     // Peek one position ahead; emit a literal if it starts a
                     // strictly better match (classic lazy matching).
-                    m.insert(i);
-                    if let Some((len2, dist2)) = m.best_match(i + 1) {
+                    m.insert_hashed(i, h);
+                    let peek = m.hash_at(i + 1).and_then(|h1| m.best_match(i + 1, h1));
+                    if let Some((len2, dist2)) = peek {
                         if len2 > len {
                             tokens.push(Token::Literal(data[i]));
                             i += 1;
@@ -208,7 +301,8 @@ pub fn lz77_tokens(data: &[u8], config: LzConfig) -> Vec<Token> {
                         len: len as u16,
                         dist: dist as u16,
                     });
-                    for k in i..i + len {
+                    m.insert_hashed(i, h);
+                    for k in i + 1..i + len {
                         m.insert(k);
                     }
                     i += len;
@@ -216,17 +310,30 @@ pub fn lz77_tokens(data: &[u8], config: LzConfig) -> Vec<Token> {
             }
             None => {
                 tokens.push(Token::Literal(data[i]));
-                m.insert(i);
+                if let Some(h) = hash {
+                    m.insert_hashed(i, h);
+                }
                 i += 1;
             }
         }
     }
-    tokens
 }
 
 /// Expand tokens back into bytes. `expected_len` pre-sizes the output.
 pub fn lz77_expand(tokens: &[Token], expected_len: usize) -> Result<Vec<u8>, &'static str> {
-    let mut out: Vec<u8> = Vec::with_capacity(expected_len);
+    let mut out = Vec::new();
+    lz77_expand_into(tokens, expected_len, &mut out)?;
+    Ok(out)
+}
+
+/// [`lz77_expand`] into a reused buffer (cleared, capacity kept).
+pub fn lz77_expand_into(
+    tokens: &[Token],
+    expected_len: usize,
+    out: &mut Vec<u8>,
+) -> Result<(), &'static str> {
+    out.clear();
+    out.reserve(expected_len);
     for t in tokens {
         match *t {
             Token::Literal(b) => out.push(b),
@@ -245,7 +352,7 @@ pub fn lz77_expand(tokens: &[Token], expected_len: usize) -> Result<Vec<u8>, &'s
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

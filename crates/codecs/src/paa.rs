@@ -9,8 +9,9 @@
 //!
 //! Payload: `window: u32` then one `f64` mean per window.
 
-use crate::block::{CodecId, CompressedBlock, POINT_BYTES};
+use crate::block::{CodecId, CompressedBlock, CompressedBlockRef, POINT_BYTES};
 use crate::error::{CodecError, Result};
+use crate::scratch::CodecScratch;
 use crate::traits::{budget_bytes, check_lossy_args, Codec, CodecKind, LossyCodec};
 
 const HDR_BYTES: usize = 4;
@@ -32,19 +33,31 @@ impl Paa {
 
     /// Compress with an explicit window size (`window >= 1`).
     pub fn compress_with_window(&self, data: &[f64], window: usize) -> Result<CompressedBlock> {
+        let mut payload = Vec::new();
+        self.window_payload_into(data, window, &mut payload)?;
+        Ok(CompressedBlock::new(self.id(), data.len(), payload))
+    }
+
+    fn window_payload_into(
+        &self,
+        data: &[f64],
+        window: usize,
+        payload: &mut Vec<u8>,
+    ) -> Result<()> {
         if data.is_empty() {
             return Err(CodecError::EmptyInput);
         }
         if window == 0 {
             return Err(CodecError::InvalidParameter("window must be >= 1"));
         }
-        let mut payload = Vec::with_capacity(HDR_BYTES + data.len().div_ceil(window) * MEAN_BYTES);
+        payload.clear();
+        payload.reserve(HDR_BYTES + data.len().div_ceil(window) * MEAN_BYTES);
         payload.extend_from_slice(&(window as u32).to_le_bytes());
         for chunk in data.chunks(window) {
             let mean = chunk.iter().sum::<f64>() / chunk.len() as f64;
             payload.extend_from_slice(&mean.to_le_bytes());
         }
-        Ok(CompressedBlock::new(self.id(), data.len(), payload))
+        Ok(())
     }
 
     pub(crate) fn parse(block: &CompressedBlock) -> Result<(usize, Vec<f64>)> {
@@ -85,15 +98,52 @@ impl Codec for Paa {
     }
 
     fn decompress(&self, block: &CompressedBlock) -> Result<Vec<f64>> {
+        let mut out = Vec::new();
+        self.decompress_into(block, &mut CodecScratch::new(), &mut out)?;
+        Ok(out)
+    }
+
+    fn compress_into<'a>(
+        &self,
+        data: &[f64],
+        scratch: &'a mut CodecScratch,
+    ) -> Result<CompressedBlockRef<'a>> {
+        self.window_payload_into(data, 2, &mut scratch.out)?;
+        Ok(CompressedBlockRef::new(self.id(), data.len(), &scratch.out))
+    }
+
+    fn decompress_into(
+        &self,
+        block: &CompressedBlock,
+        _scratch: &mut CodecScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
         self.check_block(block)?;
         let n = block.n_points as usize;
-        let (window, means) = Self::parse(block)?;
-        let mut out = Vec::with_capacity(n);
-        for (w_idx, &mean) in means.iter().enumerate() {
+        // Same validation as `parse`, but expand means straight off the
+        // payload without materializing the intermediate vector.
+        if block.payload.len() < HDR_BYTES
+            || !(block.payload.len() - HDR_BYTES).is_multiple_of(MEAN_BYTES)
+        {
+            return Err(CodecError::Corrupt("paa payload size"));
+        }
+        let window =
+            u32::from_le_bytes(block.payload[..HDR_BYTES].try_into().expect("4 bytes")) as usize;
+        if window == 0 {
+            return Err(CodecError::Corrupt("paa zero window"));
+        }
+        let means = block.payload[HDR_BYTES..].chunks_exact(MEAN_BYTES);
+        if means.len() != n.div_ceil(window) {
+            return Err(CodecError::Corrupt("paa mean count mismatch"));
+        }
+        out.clear();
+        out.reserve(n);
+        for (w_idx, c) in means.enumerate() {
+            let mean = f64::from_le_bytes(c.try_into().expect("8 bytes"));
             let count = window.min(n - w_idx * window);
             out.extend(std::iter::repeat_n(mean, count));
         }
-        Ok(out)
+        Ok(())
     }
 }
 

@@ -1,10 +1,11 @@
 //! The identity "codec": raw little-endian doubles. Used as the control arm
 //! and as the representation of not-yet-compressed segments on disk.
 
-use crate::block::{CodecId, CompressedBlock};
+use crate::block::{CodecId, CompressedBlock, CompressedBlockRef};
 use crate::error::{CodecError, Result};
+use crate::scratch::CodecScratch;
 use crate::traits::{Codec, CodecKind};
-use crate::util::{bytes_to_f64s, f64s_to_bytes};
+use crate::util::{bytes_to_f64s_into, f64s_to_bytes_into};
 
 /// Raw pass-through codec.
 #[derive(Debug, Default, Clone, Copy)]
@@ -20,23 +21,45 @@ impl Codec for Raw {
     }
 
     fn compress(&self, data: &[f64]) -> Result<CompressedBlock> {
-        if data.is_empty() {
-            return Err(CodecError::EmptyInput);
-        }
-        Ok(CompressedBlock::new(
-            self.id(),
-            data.len(),
-            f64s_to_bytes(data),
-        ))
+        let mut scratch = CodecScratch::new();
+        let n = self.compress_into(data, &mut scratch)?.n_points;
+        Ok(CompressedBlock {
+            codec: self.id(),
+            n_points: n,
+            payload: scratch.take_out(),
+        })
     }
 
     fn decompress(&self, block: &CompressedBlock) -> Result<Vec<f64>> {
+        let mut out = Vec::new();
+        self.decompress_into(block, &mut CodecScratch::new(), &mut out)?;
+        Ok(out)
+    }
+
+    fn compress_into<'a>(
+        &self,
+        data: &[f64],
+        scratch: &'a mut CodecScratch,
+    ) -> Result<CompressedBlockRef<'a>> {
+        if data.is_empty() {
+            return Err(CodecError::EmptyInput);
+        }
+        f64s_to_bytes_into(data, &mut scratch.out);
+        Ok(CompressedBlockRef::new(self.id(), data.len(), &scratch.out))
+    }
+
+    fn decompress_into(
+        &self,
+        block: &CompressedBlock,
+        _scratch: &mut CodecScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
         self.check_block(block)?;
-        let out = bytes_to_f64s(&block.payload)?;
+        bytes_to_f64s_into(&block.payload, out)?;
         if out.len() != block.n_points as usize {
             return Err(CodecError::Corrupt("raw length mismatch"));
         }
-        Ok(out)
+        Ok(())
     }
 }
 

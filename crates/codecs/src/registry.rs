@@ -1,7 +1,7 @@
 //! Codec registry: builds every codec at a dataset precision and exposes
 //! the candidate sets the selection framework draws its MAB arms from.
 
-use crate::block::{CodecId, CompressedBlock};
+use crate::block::{CodecId, CompressedBlock, CompressedBlockRef};
 use crate::buff::{Buff, BuffLossy};
 use crate::chimp::Chimp;
 use crate::deflate::Deflate;
@@ -16,6 +16,7 @@ use crate::pla::Pla;
 use crate::raw::Raw;
 use crate::rle::Rle;
 use crate::rrd::RrdSample;
+use crate::scratch::CodecScratch;
 use crate::snappy::Snappy;
 use crate::sprintz::Sprintz;
 use crate::traits::{Codec, LossyCodec};
@@ -126,6 +127,28 @@ impl CodecRegistry {
     /// Decompress any block by dispatching on its codec id.
     pub fn decompress(&self, block: &CompressedBlock) -> Result<Vec<f64>> {
         self.get(block.codec).decompress(block)
+    }
+
+    /// Compress with a caller-owned scratch arena (no per-call allocation
+    /// in steady state). See [`Codec::compress_into`].
+    pub fn compress_into<'a>(
+        &self,
+        id: CodecId,
+        data: &[f64],
+        scratch: &'a mut CodecScratch,
+    ) -> Result<CompressedBlockRef<'a>> {
+        self.get(id).compress_into(data, scratch)
+    }
+
+    /// Decompress any block into a caller-owned buffer, dispatching on its
+    /// codec id. See [`Codec::decompress_into`].
+    pub fn decompress_into(
+        &self,
+        block: &CompressedBlock,
+        scratch: &mut CodecScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        self.get(block.codec).decompress_into(block, scratch, out)
     }
 
     /// Recode a block of a lossy (or BUFF) codec to a tighter ratio.

@@ -7,8 +7,9 @@
 //!
 //! Payload: repeated `(count: u32 LE, value: f64 LE)`.
 
-use crate::block::{CodecId, CompressedBlock};
+use crate::block::{CodecId, CompressedBlock, CompressedBlockRef};
 use crate::error::{CodecError, Result};
+use crate::scratch::CodecScratch;
 use crate::traits::{Codec, CodecKind};
 
 /// RLE codec. Stateless.
@@ -27,10 +28,31 @@ impl Codec for Rle {
     }
 
     fn compress(&self, data: &[f64]) -> Result<CompressedBlock> {
+        let mut scratch = CodecScratch::new();
+        let n = self.compress_into(data, &mut scratch)?.n_points;
+        Ok(CompressedBlock {
+            codec: self.id(),
+            n_points: n,
+            payload: scratch.take_out(),
+        })
+    }
+
+    fn decompress(&self, block: &CompressedBlock) -> Result<Vec<f64>> {
+        let mut out = Vec::new();
+        self.decompress_into(block, &mut CodecScratch::new(), &mut out)?;
+        Ok(out)
+    }
+
+    fn compress_into<'a>(
+        &self,
+        data: &[f64],
+        scratch: &'a mut CodecScratch,
+    ) -> Result<CompressedBlockRef<'a>> {
         if data.is_empty() {
             return Err(CodecError::EmptyInput);
         }
-        let mut payload = Vec::new();
+        let payload = &mut scratch.out;
+        payload.clear();
         let mut run_value = data[0];
         let mut run_len: u32 = 1;
         for &v in &data[1..] {
@@ -46,16 +68,22 @@ impl Codec for Rle {
         }
         payload.extend_from_slice(&run_len.to_le_bytes());
         payload.extend_from_slice(&run_value.to_le_bytes());
-        Ok(CompressedBlock::new(self.id(), data.len(), payload))
+        Ok(CompressedBlockRef::new(self.id(), data.len(), payload))
     }
 
-    fn decompress(&self, block: &CompressedBlock) -> Result<Vec<f64>> {
+    fn decompress_into(
+        &self,
+        block: &CompressedBlock,
+        _scratch: &mut CodecScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
         self.check_block(block)?;
         let n = block.n_points as usize;
         if !block.payload.len().is_multiple_of(PAIR_BYTES) {
             return Err(CodecError::Corrupt("rle payload size"));
         }
-        let mut out = Vec::with_capacity(n);
+        out.clear();
+        out.reserve(n);
         for pair in block.payload.chunks_exact(PAIR_BYTES) {
             let count = u32::from_le_bytes(pair[..4].try_into().expect("4 bytes")) as usize;
             let value = f64::from_le_bytes(pair[4..].try_into().expect("8 bytes"));
@@ -67,7 +95,7 @@ impl Codec for Rle {
         if out.len() != n {
             return Err(CodecError::Corrupt("rle runs short of point count"));
         }
-        Ok(out)
+        Ok(())
     }
 }
 

@@ -10,8 +10,9 @@
 //! bucket index, so compression is reproducible and recoding needs no RNG
 //! state. Payload: `bucket: u32`, then one `f64` sample per bucket.
 
-use crate::block::{CodecId, CompressedBlock, POINT_BYTES};
+use crate::block::{CodecId, CompressedBlock, CompressedBlockRef, POINT_BYTES};
 use crate::error::{CodecError, Result};
+use crate::scratch::CodecScratch;
 use crate::traits::{budget_bytes, check_lossy_args, Codec, CodecKind, LossyCodec};
 
 const HDR_BYTES: usize = 4;
@@ -86,15 +87,71 @@ impl Codec for RrdSample {
     }
 
     fn decompress(&self, block: &CompressedBlock) -> Result<Vec<f64>> {
+        let mut out = Vec::new();
+        self.decompress_into(block, &mut CodecScratch::new(), &mut out)?;
+        Ok(out)
+    }
+
+    fn compress_into<'a>(
+        &self,
+        data: &[f64],
+        scratch: &'a mut CodecScratch,
+    ) -> Result<CompressedBlockRef<'a>> {
+        // Mirrors `compress_to_ratio(data, 0.5)` but builds the payload in
+        // the caller's scratch buffer.
+        check_lossy_args(data.len(), 0.5)?;
+        let n = data.len();
+        let m = Self::buckets_for(n, 0.5);
+        if m == 0 {
+            return Err(CodecError::RatioUnreachable {
+                requested: 0.5,
+                minimum: self.min_ratio(n),
+            });
+        }
+        let bucket = n.div_ceil(m);
+        let payload = &mut scratch.out;
+        payload.clear();
+        payload.reserve(HDR_BYTES + n.div_ceil(bucket) * SAMPLE_BYTES);
+        payload.extend_from_slice(&(bucket as u32).to_le_bytes());
+        for (b_idx, chunk) in data.chunks(bucket).enumerate() {
+            let s = chunk[pick_offset(n, b_idx, chunk.len())];
+            payload.extend_from_slice(&s.to_le_bytes());
+        }
+        Ok(CompressedBlockRef::new(self.id(), n, payload))
+    }
+
+    fn decompress_into(
+        &self,
+        block: &CompressedBlock,
+        _scratch: &mut CodecScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
         self.check_block(block)?;
         let n = block.n_points as usize;
-        let (bucket, samples) = Self::parse(block)?;
-        let mut out = Vec::with_capacity(n);
-        for (b_idx, &s) in samples.iter().enumerate() {
+        // Same validation as `parse`, expanding samples straight off the
+        // payload.
+        if block.payload.len() < HDR_BYTES + SAMPLE_BYTES
+            || !(block.payload.len() - HDR_BYTES).is_multiple_of(SAMPLE_BYTES)
+        {
+            return Err(CodecError::Corrupt("rrd payload size"));
+        }
+        let bucket =
+            u32::from_le_bytes(block.payload[..HDR_BYTES].try_into().expect("4 bytes")) as usize;
+        if bucket == 0 {
+            return Err(CodecError::Corrupt("rrd zero bucket"));
+        }
+        let samples = block.payload[HDR_BYTES..].chunks_exact(SAMPLE_BYTES);
+        if samples.len() != n.div_ceil(bucket) {
+            return Err(CodecError::Corrupt("rrd sample count mismatch"));
+        }
+        out.clear();
+        out.reserve(n);
+        for (b_idx, c) in samples.enumerate() {
+            let s = f64::from_le_bytes(c.try_into().expect("8 bytes"));
             let count = bucket.min(n - b_idx * bucket);
             out.extend(std::iter::repeat_n(s, count));
         }
-        Ok(out)
+        Ok(())
     }
 }
 

@@ -7,32 +7,44 @@
 //! * control byte `c >= 128` — a match of length `c - 128 + MIN_MATCH`
 //!   (3..=130), followed by a little-endian `u16` distance.
 
-use crate::block::{CodecId, CompressedBlock};
+use crate::block::{CodecId, CompressedBlock, CompressedBlockRef};
 use crate::error::{CodecError, Result};
-use crate::lz::{lz77_tokens, LzConfig, Token, MIN_MATCH};
+use crate::lz::{lz77_tokens_into, LzConfig, LzScratch, Token, MIN_MATCH};
+use crate::scratch::CodecScratch;
 use crate::traits::{Codec, CodecKind};
-use crate::util::{bytes_to_f64s, f64s_to_bytes};
+use crate::util::{bytes_to_f64s_into, f64s_to_bytes_into};
 
 const MAX_LITERAL_RUN: usize = 128;
 const MAX_COPY_LEN: usize = 127 + MIN_MATCH; // 130
 
 /// Compress raw bytes with the snappy-class format.
 pub fn snappy_compress_bytes(data: &[u8]) -> Vec<u8> {
-    let tokens = lz77_tokens(data, LzConfig::fast());
-    let mut out = Vec::with_capacity(data.len() / 2 + 16);
-    let mut lit_run: Vec<u8> = Vec::with_capacity(MAX_LITERAL_RUN);
-    let flush_lits = |out: &mut Vec<u8>, lit_run: &mut Vec<u8>| {
-        for chunk in lit_run.chunks(MAX_LITERAL_RUN) {
+    let mut out = Vec::new();
+    snappy_compress_bytes_into(data, &mut LzScratch::default(), &mut out);
+    out
+}
+
+/// [`snappy_compress_bytes`] into a reused output buffer, recycling the
+/// LZ77 matcher state. Literal runs are flushed directly from input ranges
+/// (the token stream covers `data` in order), so no staging buffer is
+/// needed.
+pub fn snappy_compress_bytes_into(data: &[u8], lz: &mut LzScratch, out: &mut Vec<u8>) {
+    lz77_tokens_into(data, LzConfig::fast(), lz);
+    out.clear();
+    out.reserve(data.len() / 2 + 16);
+    let flush_lits = |out: &mut Vec<u8>, lits: &[u8]| {
+        for chunk in lits.chunks(MAX_LITERAL_RUN) {
             out.push((chunk.len() - 1) as u8);
             out.extend_from_slice(chunk);
         }
-        lit_run.clear();
     };
-    for t in &tokens {
+    let mut pos = 0usize;
+    let mut lit_start = 0usize;
+    for t in &lz.tokens {
         match *t {
-            Token::Literal(b) => lit_run.push(b),
+            Token::Literal(_) => pos += 1,
             Token::Match { len, dist } => {
-                flush_lits(&mut out, &mut lit_run);
+                flush_lits(out, &data[lit_start..pos]);
                 // Split long matches into <=130-byte chunks.
                 let mut remaining = len as usize;
                 while remaining > 0 {
@@ -49,16 +61,29 @@ pub fn snappy_compress_bytes(data: &[u8]) -> Vec<u8> {
                     out.extend_from_slice(&dist.to_le_bytes());
                     remaining -= take;
                 }
+                pos += len as usize;
+                lit_start = pos;
             }
         }
     }
-    flush_lits(&mut out, &mut lit_run);
-    out
+    flush_lits(out, &data[lit_start..pos]);
 }
 
 /// Decompress the snappy-class format, expecting `expected_len` bytes.
 pub fn snappy_decompress_bytes(payload: &[u8], expected_len: usize) -> Result<Vec<u8>> {
-    let mut out = Vec::with_capacity(expected_len);
+    let mut out = Vec::new();
+    snappy_decompress_bytes_into(payload, expected_len, &mut out)?;
+    Ok(out)
+}
+
+/// [`snappy_decompress_bytes`] into a reused buffer (cleared, capacity kept).
+pub fn snappy_decompress_bytes_into(
+    payload: &[u8],
+    expected_len: usize,
+    out: &mut Vec<u8>,
+) -> Result<()> {
+    out.clear();
+    out.reserve(expected_len);
     let mut i = 0usize;
     while i < payload.len() {
         let c = payload[i];
@@ -90,7 +115,7 @@ pub fn snappy_decompress_bytes(payload: &[u8], expected_len: usize) -> Result<Ve
     if out.len() != expected_len {
         return Err(CodecError::Corrupt("snappy length mismatch"));
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Snappy-class codec over doubles.
@@ -107,21 +132,45 @@ impl Codec for Snappy {
     }
 
     fn compress(&self, data: &[f64]) -> Result<CompressedBlock> {
-        if data.is_empty() {
-            return Err(CodecError::EmptyInput);
-        }
-        let bytes = f64s_to_bytes(data);
-        Ok(CompressedBlock::new(
-            self.id(),
-            data.len(),
-            snappy_compress_bytes(&bytes),
-        ))
+        let mut scratch = CodecScratch::new();
+        let n = self.compress_into(data, &mut scratch)?.n_points;
+        Ok(CompressedBlock {
+            codec: self.id(),
+            n_points: n,
+            payload: scratch.take_out(),
+        })
     }
 
     fn decompress(&self, block: &CompressedBlock) -> Result<Vec<f64>> {
+        let mut out = Vec::new();
+        self.decompress_into(block, &mut CodecScratch::new(), &mut out)?;
+        Ok(out)
+    }
+
+    fn compress_into<'a>(
+        &self,
+        data: &[f64],
+        scratch: &'a mut CodecScratch,
+    ) -> Result<CompressedBlockRef<'a>> {
+        if data.is_empty() {
+            return Err(CodecError::EmptyInput);
+        }
+        let CodecScratch { out, bytes, lz, .. } = scratch;
+        f64s_to_bytes_into(data, bytes);
+        snappy_compress_bytes_into(bytes, lz, out);
+        Ok(CompressedBlockRef::new(self.id(), data.len(), out))
+    }
+
+    fn decompress_into(
+        &self,
+        block: &CompressedBlock,
+        scratch: &mut CodecScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
         self.check_block(block)?;
-        let bytes = snappy_decompress_bytes(&block.payload, block.n_points as usize * 8)?;
-        bytes_to_f64s(&bytes)
+        let bytes = &mut scratch.bytes;
+        snappy_decompress_bytes_into(&block.payload, block.n_points as usize * 8, bytes)?;
+        bytes_to_f64s_into(bytes, out)
     }
 }
 

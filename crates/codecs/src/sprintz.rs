@@ -8,11 +8,12 @@
 //! 8-bit width header each. Decompression restores the quantized values
 //! exactly, which is the paper's definition of lossless for these codecs.
 
-use crate::bitio::{bits_needed, zigzag_decode, zigzag_encode, BitReader, BitWriter};
-use crate::block::{CodecId, CompressedBlock};
+use crate::bitio::{bits_needed, zigzag_decode, BitReader, BitWriter};
+use crate::block::{CodecId, CompressedBlock, CompressedBlockRef};
 use crate::error::{CodecError, Result};
+use crate::scratch::CodecScratch;
 use crate::traits::{Codec, CodecKind};
-use crate::util::{dequantize, quantize};
+use crate::util::{delta_zigzag_into, dequantize_into, quantize_into};
 
 /// Deltas per bit-packed block.
 const BLOCK: usize = 128;
@@ -46,46 +47,74 @@ impl Codec for Sprintz {
     }
 
     fn compress(&self, data: &[f64]) -> Result<CompressedBlock> {
+        let mut scratch = CodecScratch::new();
+        let n = self.compress_into(data, &mut scratch)?.n_points;
+        Ok(CompressedBlock {
+            codec: self.id(),
+            n_points: n,
+            payload: scratch.take_out(),
+        })
+    }
+
+    fn decompress(&self, block: &CompressedBlock) -> Result<Vec<f64>> {
+        let mut out = Vec::new();
+        self.decompress_into(block, &mut CodecScratch::new(), &mut out)?;
+        Ok(out)
+    }
+
+    fn compress_into<'a>(
+        &self,
+        data: &[f64],
+        scratch: &'a mut CodecScratch,
+    ) -> Result<CompressedBlockRef<'a>> {
         if data.is_empty() {
             return Err(CodecError::EmptyInput);
         }
-        let q = quantize(data, self.precision)?;
-        let mut prev = q[0];
-        let deltas: Vec<u64> = q[1..]
-            .iter()
-            .map(|&v| {
-                let d = v.wrapping_sub(prev);
-                prev = v;
-                zigzag_encode(d)
-            })
-            .collect();
-        // Size estimate: header + per-block width bytes + the worst block
-        // width observed, so smooth signals allocate once.
-        let max_width = deltas.iter().map(|&d| bits_needed(d)).max().unwrap_or(0);
-        let estimate =
-            9 + deltas.len().div_ceil(BLOCK) + (deltas.len() * max_width as usize).div_ceil(8);
-        let mut w = BitWriter::with_capacity(estimate);
+        let CodecScratch {
+            out, u64s, i64s, ..
+        } = scratch;
+        quantize_into(data, self.precision, i64s)?;
+        let q = &*i64s;
+        delta_zigzag_into(q, u64s);
+        let deltas = &*u64s;
+        // Size estimate: header + per-block width bytes + two bytes per
+        // delta, generous enough that smooth signals never regrow (and the
+        // buffer's capacity persists across calls anyway).
+        let estimate = 9 + deltas.len().div_ceil(BLOCK) + deltas.len() * 2;
+        let mut w = BitWriter::over(std::mem::take(out));
+        w.reserve(estimate);
         // Header: precision byte, then the first value raw.
         w.write_bits(self.precision as u64, 8);
         w.write_bits(q[0] as u64, 64);
         for chunk in deltas.chunks(BLOCK) {
-            let width = chunk.iter().map(|&d| bits_needed(d)).max().unwrap_or(0);
+            // OR-folding the deltas finds the block width with one
+            // `bits_needed` instead of one per element (same MSB).
+            let width = bits_needed(chunk.iter().fold(0, |acc, &d| acc | d));
             w.write_bits(width as u64, 8);
             w.write_run(chunk, width);
         }
-        Ok(CompressedBlock::new(self.id(), data.len(), w.finish()))
+        *out = w.finish();
+        Ok(CompressedBlockRef::new(self.id(), data.len(), out))
     }
 
-    fn decompress(&self, block: &CompressedBlock) -> Result<Vec<f64>> {
+    fn decompress_into(
+        &self,
+        block: &CompressedBlock,
+        scratch: &mut CodecScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
         self.check_block(block)?;
         let n = block.n_points as usize;
+        out.clear();
         if n == 0 {
-            return Ok(Vec::new());
+            return Ok(());
         }
         let mut r = BitReader::new(&block.payload);
         let precision = r.read_bits(8)? as u8;
         let first = r.read_bits(64)? as i64;
-        let mut q = Vec::with_capacity(n);
+        let q = &mut scratch.i64s;
+        q.clear();
+        q.reserve(n);
         q.push(first);
         let mut remaining = n - 1;
         let mut prev = first;
@@ -103,7 +132,7 @@ impl Codec for Sprintz {
             }
             remaining -= take;
         }
-        dequantize(&q, precision)
+        dequantize_into(q, precision, out)
     }
 }
 

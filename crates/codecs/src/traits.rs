@@ -1,7 +1,8 @@
 //! Codec traits: the common interface every compression scheme implements.
 
-use crate::block::{CodecId, CompressedBlock};
+use crate::block::{CodecId, CompressedBlock, CompressedBlockRef};
 use crate::error::{CodecError, Result};
+use crate::scratch::CodecScratch;
 
 /// Whether a codec restores the input exactly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +34,48 @@ pub trait Codec: Send + Sync {
 
     /// Decompress a block back to `n_points` values.
     fn decompress(&self, block: &CompressedBlock) -> Result<Vec<f64>>;
+
+    /// Compress a segment into the scratch arena's output buffer, reusing
+    /// its work buffers instead of allocating.
+    ///
+    /// Produces exactly the same payload bytes as [`Codec::compress`] (the
+    /// wire format is frozen), but the returned block borrows
+    /// `scratch.out`, which stays valid only until the arena's next use. A
+    /// worker thread that keeps one `CodecScratch` alive across segments
+    /// compresses with zero steady-state heap allocations.
+    ///
+    /// The default implementation falls back to the allocating
+    /// [`Codec::compress`]; every built-in codec overrides it natively.
+    fn compress_into<'a>(
+        &self,
+        data: &[f64],
+        scratch: &'a mut CodecScratch,
+    ) -> Result<CompressedBlockRef<'a>> {
+        let block = self.compress(data)?;
+        scratch.out = block.payload;
+        Ok(CompressedBlockRef {
+            codec: block.codec,
+            n_points: block.n_points,
+            payload: &scratch.out,
+        })
+    }
+
+    /// Decompress a block into a caller-provided vector, reusing the scratch
+    /// arena for intermediate state.
+    ///
+    /// `out` is cleared and refilled with exactly the values
+    /// [`Codec::decompress`] would return; its capacity is reused across
+    /// calls. The default implementation falls back to the allocating path.
+    fn decompress_into(
+        &self,
+        block: &CompressedBlock,
+        scratch: &mut CodecScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        let _ = scratch;
+        *out = self.decompress(block)?;
+        Ok(())
+    }
 
     /// Convenience: short display name.
     fn name(&self) -> &'static str {

@@ -1,25 +1,53 @@
-//! Small shared helpers: float/byte conversion and fixed-point quantization.
+//! Small shared helpers: float/byte conversion, fixed-point quantization
+//! and the delta/zigzag preprocessing shared by the quantizing codecs.
+//!
+//! The `_into` variants write into caller-owned buffers (cleared, capacity
+//! kept) and run their validation and transform passes over fixed-size
+//! chunks so the loops auto-vectorize; the allocating forms wrap them.
 
+use crate::bitio::zigzag_encode;
 use crate::error::{CodecError, Result};
+
+/// Chunk size for the validate-then-transform quantization loops: big
+/// enough to amortize the per-chunk branch, small enough to stay in L1.
+const CHUNK: usize = 64;
 
 /// Serialize a segment of doubles to little-endian bytes.
 pub fn f64s_to_bytes(data: &[f64]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(data.len() * 8);
+    let mut out = Vec::new();
+    f64s_to_bytes_into(data, &mut out);
+    out
+}
+
+/// [`f64s_to_bytes`] into a reused buffer (cleared, capacity kept).
+pub fn f64s_to_bytes_into(data: &[f64], out: &mut Vec<u8>) {
+    out.clear();
+    out.reserve(data.len() * 8);
     for v in data {
         out.extend_from_slice(&v.to_le_bytes());
     }
-    out
 }
 
 /// Deserialize little-endian bytes back to doubles.
 pub fn bytes_to_f64s(bytes: &[u8]) -> Result<Vec<f64>> {
+    let mut out = Vec::new();
+    bytes_to_f64s_into(bytes, &mut out)?;
+    Ok(out)
+}
+
+/// [`bytes_to_f64s`] into a reused buffer (cleared, capacity kept).
+pub fn bytes_to_f64s_into(bytes: &[u8], out: &mut Vec<f64>) -> Result<()> {
     if !bytes.len().is_multiple_of(8) {
         return Err(CodecError::Corrupt("byte length not a multiple of 8"));
     }
-    Ok(bytes
-        .chunks_exact(8)
-        .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
-        .collect())
+    out.clear();
+    out.reserve(bytes.len() / 8);
+    out.extend(
+        bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8"))),
+    );
+    Ok(())
 }
 
 /// Powers of ten for decimal precision 0..=12.
@@ -54,27 +82,83 @@ pub fn pow10(precision: u8) -> Result<f64> {
 /// safe range (the paper's datasets use 4-6 digits on small-magnitude
 /// signals, far inside this range).
 pub fn quantize(data: &[f64], precision: u8) -> Result<Vec<i64>> {
+    let mut out = Vec::new();
+    quantize_into(data, precision, &mut out)?;
+    Ok(out)
+}
+
+/// [`quantize`] into a reused buffer (cleared, capacity kept).
+///
+/// Validation (finiteness, fixed-point range) and the round step run as
+/// separate passes over each chunk so both loops stay branch-free and
+/// auto-vectorize; the scaled values are staged in a stack buffer so the
+/// multiply happens once per element.
+pub fn quantize_into(data: &[f64], precision: u8, out: &mut Vec<i64>) -> Result<()> {
     let scale = pow10(precision)?;
-    let mut out = Vec::with_capacity(data.len());
-    for &v in data {
-        if !v.is_finite() {
+    out.clear();
+    out.reserve(data.len());
+    let mut scaled = [0.0f64; CHUNK];
+    for chunk in data.chunks(CHUNK) {
+        let mut finite = true;
+        let mut max_abs = 0.0f64;
+        for (slot, &v) in scaled.iter_mut().zip(chunk) {
+            finite &= v.is_finite();
+            let x = v * scale;
+            *slot = x;
+            let a = x.abs();
+            max_abs = if a > max_abs { a } else { max_abs };
+        }
+        if !finite {
             return Err(CodecError::UnsupportedValue("non-finite float"));
         }
-        let scaled = v * scale;
-        if scaled.abs() >= 4.5e15 {
+        if max_abs >= 4.5e15 {
             return Err(CodecError::UnsupportedValue(
                 "magnitude overflows fixed-point range at this precision",
             ));
         }
-        out.push(scaled.round() as i64);
+        out.extend(scaled[..chunk.len()].iter().map(|&x| x.round() as i64));
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Inverse of [`quantize`].
 pub fn dequantize(q: &[i64], precision: u8) -> Result<Vec<f64>> {
+    let mut out = Vec::new();
+    dequantize_into(q, precision, &mut out)?;
+    Ok(out)
+}
+
+/// [`dequantize`] into a reused buffer (cleared, capacity kept).
+pub fn dequantize_into(q: &[i64], precision: u8, out: &mut Vec<f64>) -> Result<()> {
     let scale = pow10(precision)?;
-    Ok(q.iter().map(|&x| x as f64 / scale).collect())
+    out.clear();
+    out.reserve(q.len());
+    out.extend(q.iter().map(|&x| x as f64 / scale));
+    Ok(())
+}
+
+/// Zigzagged consecutive deltas of a quantized segment: `out[i] =
+/// zigzag(q[i+1] - q[i])` (the Sprintz/BUFF preprocessing loop; `q[0]` is
+/// transmitted raw by the caller). Wrapping subtraction matches the
+/// decoder's wrapping accumulation.
+pub fn delta_zigzag_into(q: &[i64], out: &mut Vec<u64>) {
+    out.clear();
+    if q.len() < 2 {
+        return;
+    }
+    out.reserve(q.len() - 1);
+    out.extend(q.windows(2).map(|w| zigzag_encode(w[1].wrapping_sub(w[0]))));
+}
+
+/// Minimum and maximum of a non-empty quantized segment in one pass.
+pub fn min_max_i64(q: &[i64]) -> (i64, i64) {
+    let mut lo = i64::MAX;
+    let mut hi = i64::MIN;
+    for &v in q {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    (lo, hi)
 }
 
 /// Round a float to `precision` decimal digits (the value a quantizing codec

@@ -9,7 +9,7 @@
 //! buffer overflows).
 
 use crate::selector::{LosslessSelector, SelectorConfig};
-use adaedge_codecs::{CodecId, CodecRegistry};
+use adaedge_codecs::{CodecId, CodecRegistry, CodecScratch};
 use adaedge_datasets::SegmentSource;
 use crossbeam::channel;
 use parking_lot::{Condvar, Mutex};
@@ -78,7 +78,23 @@ pub fn run_pipeline(
         config.lossless_arms.clone(),
         config.selector,
     ));
-    let (tx, rx) = channel::bounded::<Vec<f64>>(config.buffer_segments.max(1));
+    let n_threads = config.n_compression_threads.max(1);
+    let buffer_cap = config.buffer_segments.max(1);
+    let (tx, rx) = channel::bounded::<Vec<f64>>(buffer_cap);
+    // Segment-buffer recycling loop: workers return drained `Vec`s to the
+    // ingestion stage instead of dropping them, so steady-state ingest
+    // reuses a fixed pool and performs zero heap allocations per segment.
+    // Pool sizing: one buffer per queue slot, one per in-flight worker, one
+    // in the producer's hand — by pigeonhole at least one buffer is always
+    // in (or headed to) the recycle channel, so the producer never
+    // deadlocks on `recv`.
+    let pool = buffer_cap + n_threads + 1;
+    let (recycle_tx, recycle_rx) = channel::bounded::<Vec<f64>>(pool);
+    for _ in 0..pool {
+        recycle_tx
+            .send(Vec::with_capacity(source.segment_len()))
+            .expect("recycle receiver alive");
+    }
     let bytes_out = AtomicU64::new(0);
     let spills = AtomicU64::new(0);
     let segment_points = source.segment_len() as u64;
@@ -87,38 +103,55 @@ pub fn run_pipeline(
     let mut codec_counts: HashMap<CodecId, u64> = HashMap::new();
     std::thread::scope(|scope| {
         let mut workers = Vec::new();
-        for _ in 0..config.n_compression_threads.max(1) {
+        for _ in 0..n_threads {
             let rx = rx.clone();
+            let recycle_tx = recycle_tx.clone();
             let reg = &reg;
             let selector = &selector;
             let bytes_out = &bytes_out;
             workers.push(scope.spawn(move || {
+                let mut scratch = CodecScratch::new();
                 let mut local_counts: HashMap<CodecId, u64> = HashMap::new();
                 while let Ok(data) = rx.recv() {
                     // Select under the lock, compress outside it, report back.
                     let (arm, codec) = selector.lock().select_arm();
-                    if let Ok(block) = reg.get(codec).compress(&data) {
+                    if let Ok(block) = reg.compress_into(codec, &data, &mut scratch) {
+                        let ratio = block.ratio();
                         bytes_out.fetch_add(block.compressed_bytes() as u64, Ordering::Relaxed);
-                        selector.lock().report_block(arm, &block);
+                        selector.lock().report_ratio(arm, ratio);
                         *local_counts.entry(codec).or_insert(0) += 1;
                     }
+                    // Hand the drained buffer back to the ingestion stage
+                    // (fails harmlessly once ingestion is done).
+                    let _ = recycle_tx.send(data);
                 }
                 local_counts
             }));
         }
         drop(rx);
+        drop(recycle_tx);
 
-        // Ingestion stage (this thread).
+        // Ingestion stage (this thread): refill a recycled buffer. A failed
+        // `try_send` is the spill signal — it observes fullness and enqueues
+        // in one channel operation.
         for _ in 0..n_segments {
-            let seg = source.next_segment();
-            if tx.is_full() {
-                spills.fetch_add(1, Ordering::Relaxed);
-            }
-            if tx.send(seg).is_err() {
+            let Ok(mut seg) = recycle_rx.recv() else {
                 break;
+            };
+            source.next_segment_into(&mut seg);
+            match tx.try_send(seg) {
+                Ok(()) => {}
+                Err(channel::TrySendError::Full(seg)) => {
+                    spills.fetch_add(1, Ordering::Relaxed);
+                    if tx.send(seg).is_err() {
+                        break;
+                    }
+                }
+                Err(channel::TrySendError::Disconnected(_)) => break,
             }
         }
         drop(tx);
+        drop(recycle_rx);
 
         for w in workers {
             let local = w.join().expect("worker panicked");
@@ -228,6 +261,8 @@ pub fn run_offline_pipeline(
         config.selector,
         evaluator,
     ));
+    let n_threads = config.n_compression_threads.max(1);
+    let buffer_cap = config.buffer_segments.max(1);
     let workers_done = std::sync::atomic::AtomicBool::new(false);
     // Signals any change to the store's occupancy: workers wake the recoder
     // after a put, the recoder wakes blocked workers after freeing space, and
@@ -236,7 +271,15 @@ pub fn run_offline_pipeline(
     let store_cv = Condvar::new();
     let recodes = AtomicU64::new(0);
     let drops = AtomicU64::new(0);
-    let (tx, rx) = channel::bounded::<Vec<f64>>(config.buffer_segments.max(1));
+    let (tx, rx) = channel::bounded::<Vec<f64>>(buffer_cap);
+    // Same segment-buffer recycling loop as `run_pipeline`.
+    let pool = buffer_cap + n_threads + 1;
+    let (recycle_tx, recycle_rx) = channel::bounded::<Vec<f64>>(pool);
+    for _ in 0..pool {
+        recycle_tx
+            .send(Vec::with_capacity(source.segment_len()))
+            .expect("recycle receiver alive");
+    }
     let segment_points = source.segment_len() as u64;
     let threshold = config.recode_threshold;
     let budget = config.storage_budget_bytes;
@@ -324,21 +367,29 @@ pub fn run_offline_pipeline(
 
         // Compression workers.
         let mut workers = Vec::new();
-        for _ in 0..config.n_compression_threads.max(1) {
+        for _ in 0..n_threads {
             let rx = rx.clone();
+            let recycle_tx = recycle_tx.clone();
             let reg = &reg;
             let lossless = &lossless;
             let store = &store;
             let store_cv = &store_cv;
             let drops = &drops;
             workers.push(scope.spawn(move || {
+                let mut scratch = CodecScratch::new();
                 while let Ok(data) = rx.recv() {
                     let (arm, codec) = lossless.lock().select_arm();
-                    let Ok(block) = reg.get(codec).compress(&data) else {
+                    let compressed = reg.compress_into(codec, &data, &mut scratch);
+                    let _ = recycle_tx.send(data);
+                    let Ok(block_ref) = compressed else {
                         drops.fetch_add(1, Ordering::Relaxed);
                         continue;
                     };
-                    lossless.lock().report_block(arm, &block);
+                    let ratio = block_ref.ratio();
+                    // The store takes ownership, so the scratch-backed block
+                    // is materialized once here.
+                    let block = block_ref.to_block();
+                    lossless.lock().report_ratio(arm, ratio);
                     // Wait (bounded) for the recoder to clear space, sleeping
                     // on the condvar between attempts instead of spinning.
                     let mut stored = false;
@@ -366,14 +417,19 @@ pub fn run_offline_pipeline(
             }));
         }
         drop(rx);
+        drop(recycle_tx);
 
         for _ in 0..n_segments {
-            let seg = source.next_segment();
+            let Ok(mut seg) = recycle_rx.recv() else {
+                break;
+            };
+            source.next_segment_into(&mut seg);
             if tx.send(seg).is_err() {
                 break;
             }
         }
         drop(tx);
+        drop(recycle_rx);
         for w in workers {
             w.join().expect("worker panicked");
         }

@@ -11,7 +11,7 @@ use crate::targets::RewardEvaluator;
 use adaedge_bandit::{
     default_band_edges, BandedBandits, EpsilonGreedy, GradientBandit, Policy, StepSize, Ucb,
 };
-use adaedge_codecs::{CodecError, CodecId, CodecRegistry, CompressedBlock};
+use adaedge_codecs::{CodecError, CodecId, CodecRegistry, CodecScratch, CompressedBlock};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -128,6 +128,8 @@ pub struct LosslessSelector {
     arms: Vec<CodecId>,
     mab: Box<dyn Policy>,
     rng: SmallRng,
+    /// Reused compression arena for [`Self::compress`].
+    scratch: CodecScratch,
 }
 
 impl std::fmt::Debug for LosslessSelector {
@@ -151,6 +153,7 @@ impl LosslessSelector {
             arms,
             mab,
             rng: SmallRng::seed_from_u64(config.seed),
+            scratch: CodecScratch::new(),
         }
     }
 
@@ -187,8 +190,15 @@ impl LosslessSelector {
 
     /// Feed the size reward for a block produced by `arm` back to the MAB.
     pub fn report_block(&mut self, arm: usize, block: &CompressedBlock) -> f64 {
+        self.report_ratio(arm, block.ratio())
+    }
+
+    /// Feed the size reward for a compression of `arm` that achieved
+    /// `ratio` back to the MAB (borrow-free variant of
+    /// [`Self::report_block`] for callers holding a scratch-backed block).
+    pub fn report_ratio(&mut self, arm: usize, ratio: f64) -> f64 {
         // Smaller is better; ratios above 1 (failed compression) floor at 0.
-        let reward = (1.0 - block.ratio()).clamp(0.0, 1.0);
+        let reward = (1.0 - ratio).clamp(0.0, 1.0);
         self.mab.update(arm, reward);
         reward
     }
@@ -197,7 +207,9 @@ impl LosslessSelector {
     pub fn compress(&mut self, reg: &CodecRegistry, data: &[f64]) -> Result<Selection> {
         let (arm, codec) = self.select_arm();
         let t0 = Instant::now();
-        let block = reg.get(codec).compress(data)?;
+        let block = reg
+            .compress_into(codec, data, &mut self.scratch)?
+            .to_block();
         let seconds = t0.elapsed().as_secs_f64();
         let reward = self.report_block(arm, &block);
         Ok(Selection {
@@ -225,7 +237,9 @@ fn feasibility_mask(
         .collect()
 }
 
-/// Run one lossy compression attempt and score it.
+/// Run one lossy compression attempt and score it. The reconstruction used
+/// for scoring goes through `scratch`/`buf` so repeated attempts reuse the
+/// same arena.
 #[allow(clippy::too_many_arguments)]
 fn lossy_attempt(
     reg: &CodecRegistry,
@@ -233,13 +247,15 @@ fn lossy_attempt(
     data: &[f64],
     ratio: f64,
     evaluator: &mut RewardEvaluator,
+    scratch: &mut CodecScratch,
+    buf: &mut Vec<f64>,
 ) -> std::result::Result<(CompressedBlock, f64, f64), CodecError> {
     let lossy = reg.get_lossy(codec).expect("arm must be lossy");
     let t0 = Instant::now();
     let block = lossy.compress_to_ratio(data, ratio)?;
     let seconds = t0.elapsed().as_secs_f64();
-    let reconstructed = reg.decompress(&block)?;
-    let reward = evaluator.evaluate(data, &reconstructed, seconds);
+    reg.decompress_into(&block, scratch, buf)?;
+    let reward = evaluator.evaluate(data, buf, seconds);
     Ok((block, seconds, reward))
 }
 
@@ -249,6 +265,10 @@ pub struct LossySelector {
     mab: Box<dyn Policy>,
     evaluator: RewardEvaluator,
     rng: SmallRng,
+    /// Reused decompression arena for reward scoring.
+    scratch: CodecScratch,
+    /// Reused reconstruction buffer for reward scoring.
+    buf: Vec<f64>,
 }
 
 impl std::fmt::Debug for LossySelector {
@@ -270,6 +290,8 @@ impl LossySelector {
             mab,
             evaluator,
             rng: SmallRng::seed_from_u64(config.seed.wrapping_add(1)),
+            scratch: CodecScratch::new(),
+            buf: Vec::new(),
         }
     }
 
@@ -305,7 +327,15 @@ impl LossySelector {
                 });
             }
             let arm = self.mab.select(Some(&mask), &mut self.rng);
-            match lossy_attempt(reg, self.arms[arm], data, ratio, &mut self.evaluator) {
+            match lossy_attempt(
+                reg,
+                self.arms[arm],
+                data,
+                ratio,
+                &mut self.evaluator,
+                &mut self.scratch,
+                &mut self.buf,
+            ) {
                 Ok((block, seconds, reward)) => {
                     self.mab.update(arm, reward);
                     return Ok(Selection {
@@ -340,6 +370,10 @@ pub struct BandedLossySelector {
     bands: BandedBandits<Box<dyn Policy>>,
     evaluator: RewardEvaluator,
     rng: SmallRng,
+    /// Reused decompression arena for reward scoring.
+    scratch: CodecScratch,
+    /// Reused reconstruction buffer for reward scoring.
+    buf: Vec<f64>,
 }
 
 impl std::fmt::Debug for BandedLossySelector {
@@ -372,6 +406,8 @@ impl BandedLossySelector {
             bands,
             evaluator,
             rng: SmallRng::seed_from_u64(config.seed.wrapping_add(2)),
+            scratch: CodecScratch::new(),
+            buf: Vec::new(),
         }
     }
 
@@ -401,7 +437,15 @@ impl BandedLossySelector {
                 });
             }
             let arm = self.bands.select(ratio, Some(&mask), &mut self.rng);
-            match lossy_attempt(reg, self.arms[arm], data, ratio, &mut self.evaluator) {
+            match lossy_attempt(
+                reg,
+                self.arms[arm],
+                data,
+                ratio,
+                &mut self.evaluator,
+                &mut self.scratch,
+                &mut self.buf,
+            ) {
                 Ok((block, seconds, reward)) => {
                     self.bands.update(ratio, arm, reward);
                     return Ok(Selection {
@@ -470,7 +514,7 @@ impl BandedLossySelector {
                 match attempt {
                     Ok(new_block) => {
                         let seconds = t0.elapsed().as_secs_f64();
-                        let reconstructed = reg.decompress(&new_block)?;
+                        reg.decompress_into(&new_block, &mut self.scratch, &mut self.buf)?;
                         // Score against the raw points when the caller
                         // still has them; else the pre-recode decode.
                         let reference: &[f64] = match original_hint {
@@ -482,7 +526,7 @@ impl BandedLossySelector {
                                 decoded.as_ref().expect("decoded above")
                             }
                         };
-                        let reward = self.evaluator.evaluate(reference, &reconstructed, seconds);
+                        let reward = self.evaluator.evaluate(reference, &self.buf, seconds);
                         self.bands.update(ratio, $arm, reward);
                         Ok(Some((new_block, seconds, reward)))
                     }

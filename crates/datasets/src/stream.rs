@@ -13,6 +13,13 @@ pub trait SegmentSource: Send {
 
     /// Produce the next segment.
     fn next_segment(&mut self) -> Vec<f64>;
+
+    /// Produce the next segment into a caller-owned buffer, so a recycled
+    /// `Vec` can be refilled without allocating. The default delegates to
+    /// [`Self::next_segment`]; sources on hot ingest paths override it.
+    fn next_segment_into(&mut self, out: &mut Vec<f64>) {
+        *out = self.next_segment();
+    }
 }
 
 /// Streams CBF instances back-to-back, cutting the point stream into
@@ -44,13 +51,20 @@ impl SegmentSource for CbfStream {
     }
 
     fn next_segment(&mut self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.segment_len);
+        self.next_segment_into(&mut out);
+        out
+    }
+
+    fn next_segment_into(&mut self, out: &mut Vec<f64>) {
         while self.buffer.len() < self.segment_len {
             let (inst, _) = self.gen.next_cycled(self.counter);
             self.counter += 1;
             self.buffer.extend(inst);
         }
-        let rest = self.buffer.split_off(self.segment_len);
-        std::mem::replace(&mut self.buffer, rest)
+        out.clear();
+        out.extend_from_slice(&self.buffer[..self.segment_len]);
+        self.buffer.drain(..self.segment_len);
     }
 }
 
@@ -107,9 +121,15 @@ impl SegmentSource for ShiftStream {
     }
 
     fn next_segment(&mut self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.segment_len);
+        self.next_segment_into(&mut out);
+        out
+    }
+
+    fn next_segment_into(&mut self, out: &mut Vec<f64>) {
         self.produced += 1;
         if self.produced <= self.shift_after {
-            self.cbf.next_segment()
+            self.cbf.next_segment_into(out);
         } else {
             // Low-entropy: a cyclic tiling of the small alphabet with an
             // occasional phase jump. Consecutive values differ (so XOR
@@ -117,7 +137,8 @@ impl SegmentSource for ShiftStream {
             // repetitive — the regime where gzip/zlib/dict dominate.
             let k = self.alphabet.len();
             let mut phase = self.rng.gen_range(0..k);
-            let mut out = Vec::with_capacity(self.segment_len);
+            out.clear();
+            out.reserve(self.segment_len);
             while out.len() < self.segment_len {
                 let run = self
                     .rng
@@ -128,8 +149,7 @@ impl SegmentSource for ShiftStream {
                 }
                 phase = self.rng.gen_range(0..k);
             }
-            round_all(&mut out, self.precision);
-            out
+            round_all(out, self.precision);
         }
     }
 }
@@ -166,14 +186,20 @@ impl SegmentSource for SineStream {
 
     fn next_segment(&mut self) -> Vec<f64> {
         let mut out = Vec::with_capacity(self.segment_len);
+        self.next_segment_into(&mut out);
+        out
+    }
+
+    fn next_segment_into(&mut self, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.segment_len);
         for _ in 0..self.segment_len {
             let x = self.t as f64 * 0.01;
             let v = 3.0 * x.sin() + self.noise * crate::rng::standard_normal(&mut self.rng);
             out.push(v);
             self.t += 1;
         }
-        round_all(&mut out, self.precision);
-        out
+        round_all(out, self.precision);
     }
 }
 
@@ -205,6 +231,12 @@ impl SegmentSource for CycleSource {
         let seg = self.segments[self.idx % self.segments.len()].clone();
         self.idx += 1;
         seg
+    }
+
+    fn next_segment_into(&mut self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(&self.segments[self.idx % self.segments.len()]);
+        self.idx += 1;
     }
 }
 

@@ -19,4 +19,7 @@ cargo clippy --workspace -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> engine throughput smoke (--quick)"
+cargo run --release -q -p adaedge-bench --bin engine_throughput -- --quick
+
 echo "verify: OK"

@@ -6,9 +6,11 @@
 //! (`recv` fails once every sender is dropped and the queue is drained;
 //! `send` fails once every receiver is dropped).
 //!
-//! Implemented over a `Mutex<VecDeque>` with two condition variables. The
-//! pipelines in this workspace move whole segments (thousands of points)
-//! per message, so per-message channel overhead is not on the hot path.
+//! Implemented over a `Mutex<VecDeque>` with two condition variables.
+//! Waiter counts gate every condvar notify: `Condvar::notify_one` is a
+//! futex syscall on Linux even when nobody is waiting, and with two
+//! channel operations per pipeline segment those wasted syscalls dominate
+//! per-message overhead in steady state (queues neither empty nor full).
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -21,6 +23,12 @@ pub mod channel {
         cap: Option<usize>,
         senders: usize,
         receivers: usize,
+        /// Threads currently blocked in `recv`/`recv_timeout`. Tracked so
+        /// the hot send path can skip the condvar notify (a futex syscall
+        /// on Linux even with no waiters) when nobody is asleep.
+        recv_waiters: usize,
+        /// Threads currently blocked in `send` on a full bounded channel.
+        send_waiters: usize,
     }
 
     struct Shared<T> {
@@ -65,6 +73,15 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Sender::try_send`], carrying the message back.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded channel is at capacity.
+        Full(T),
+        /// All receivers disconnected.
+        Disconnected(T),
+    }
+
     impl<T> fmt::Display for SendError<T> {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             write!(f, "sending on a disconnected channel")
@@ -80,10 +97,14 @@ pub mod channel {
     fn shared<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             inner: Mutex::new(Inner {
-                queue: VecDeque::new(),
+                // Bounded channels never hold more than `cap` messages, so
+                // reserving up front makes every later push allocation-free.
+                queue: cap.map_or_else(VecDeque::new, VecDeque::with_capacity),
                 cap,
                 senders: 1,
                 receivers: 1,
+                recv_waiters: 0,
+                send_waiters: 0,
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
@@ -117,11 +138,31 @@ pub mod channel {
                 let full = inner.cap.is_some_and(|c| inner.queue.len() >= c);
                 if !full {
                     inner.queue.push_back(value);
-                    self.shared.not_empty.notify_one();
+                    if inner.recv_waiters > 0 {
+                        self.shared.not_empty.notify_one();
+                    }
                     return Ok(());
                 }
+                inner.send_waiters += 1;
                 inner = self.shared.not_full.wait(inner).expect("channel lock");
+                inner.send_waiters -= 1;
             }
+        }
+
+        /// Send without blocking; on a full channel the message is returned.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut inner = self.shared.inner.lock().expect("channel lock");
+            if inner.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if inner.cap.is_some_and(|c| inner.queue.len() >= c) {
+                return Err(TrySendError::Full(value));
+            }
+            inner.queue.push_back(value);
+            if inner.recv_waiters > 0 {
+                self.shared.not_empty.notify_one();
+            }
+            Ok(())
         }
 
         /// Whether a bounded channel is currently at capacity.
@@ -167,13 +208,17 @@ pub mod channel {
             let mut inner = self.shared.inner.lock().expect("channel lock");
             loop {
                 if let Some(v) = inner.queue.pop_front() {
-                    self.shared.not_full.notify_one();
+                    if inner.send_waiters > 0 {
+                        self.shared.not_full.notify_one();
+                    }
                     return Ok(v);
                 }
                 if inner.senders == 0 {
                     return Err(RecvError);
                 }
+                inner.recv_waiters += 1;
                 inner = self.shared.not_empty.wait(inner).expect("channel lock");
+                inner.recv_waiters -= 1;
             }
         }
 
@@ -183,7 +228,9 @@ pub mod channel {
             let mut inner = self.shared.inner.lock().expect("channel lock");
             loop {
                 if let Some(v) = inner.queue.pop_front() {
-                    self.shared.not_full.notify_one();
+                    if inner.send_waiters > 0 {
+                        self.shared.not_full.notify_one();
+                    }
                     return Ok(v);
                 }
                 if inner.senders == 0 {
@@ -193,12 +240,14 @@ pub mod channel {
                 if now >= deadline {
                     return Err(RecvTimeoutError::Timeout);
                 }
+                inner.recv_waiters += 1;
                 let (guard, _) = self
                     .shared
                     .not_empty
                     .wait_timeout(inner, deadline - now)
                     .expect("channel lock");
                 inner = guard;
+                inner.recv_waiters -= 1;
             }
         }
 
@@ -206,7 +255,9 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut inner = self.shared.inner.lock().expect("channel lock");
             if let Some(v) = inner.queue.pop_front() {
-                self.shared.not_full.notify_one();
+                if inner.send_waiters > 0 {
+                    self.shared.not_full.notify_one();
+                }
                 return Ok(v);
             }
             if inner.senders == 0 {

@@ -444,7 +444,7 @@ mod tests {
         let s = (1usize..10).prop_map(|x| x * 2);
         for _ in 0..100 {
             let v = s.generate(&mut rng);
-            assert!(v >= 2 && v < 20 && v % 2 == 0);
+            assert!((2..20).contains(&v) && v % 2 == 0);
         }
     }
 
@@ -462,7 +462,7 @@ mod tests {
     #[test]
     fn oneof_hits_every_option() {
         let mut rng = TestRng::deterministic();
-        let s = prop_oneof![(0usize..1), (10usize..11), (20usize..21)];
+        let s = prop_oneof![0usize..1, 10usize..11, 20usize..21];
         let mut seen = [false; 3];
         for _ in 0..200 {
             match s.generate(&mut rng) {

@@ -338,7 +338,7 @@ mod tests {
         assert_eq!(from_str::<f64>("1.5").unwrap(), 1.5);
         assert_eq!(from_str::<f64>("1e3").unwrap(), 1000.0);
         assert_eq!(to_string(&true).unwrap(), "true");
-        assert_eq!(from_str::<bool>("false").unwrap(), false);
+        assert!(!from_str::<bool>("false").unwrap());
     }
 
     #[test]
