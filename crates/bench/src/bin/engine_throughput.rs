@@ -25,7 +25,7 @@ fn run_once(threads: usize, segments: usize) -> EngineReport {
         n_compression_threads: threads,
         ..Default::default()
     };
-    run_pipeline(&mut source, segments, &config)
+    run_pipeline(&mut source, segments, &config).expect("pipeline")
 }
 
 fn main() {

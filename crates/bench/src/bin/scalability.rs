@@ -39,7 +39,7 @@ fn main() {
             },
             ..Default::default()
         };
-        let report = run_pipeline(&mut source, SEGMENTS, &config);
+        let report = run_pipeline(&mut source, SEGMENTS, &config).expect("pipeline");
         if threads == 1 {
             single = report.points_per_sec;
         }
@@ -75,7 +75,7 @@ fn main() {
             selector: SelectorConfig::default(),
             ..Default::default()
         };
-        let report = run_pipeline(&mut source, SEGMENTS / 4, &config);
+        let report = run_pipeline(&mut source, SEGMENTS / 4, &config).expect("pipeline");
         if threads == 1 {
             gzip_single = report.points_per_sec;
         }

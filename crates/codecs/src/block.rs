@@ -202,6 +202,16 @@ impl CompressedBlock {
         }
         self.compressed_bytes() as f64 / self.original_bytes() as f64
     }
+
+    /// CRC-32C over the block's framing and payload (codec name, point
+    /// count, payload bytes). The storage layer records this at put time
+    /// and re-verifies on reads, so bit rot in any of the three fields is
+    /// detected before a corrupted block reaches a decoder.
+    pub fn checksum(&self) -> u32 {
+        let crc = crate::crc32c::crc32c(self.codec.name().as_bytes());
+        let crc = crate::crc32c::crc32c_append(crc, &self.n_points.to_le_bytes());
+        crate::crc32c::crc32c_append(crc, &self.payload)
+    }
 }
 
 /// A compressed segment whose payload borrows a scratch arena.

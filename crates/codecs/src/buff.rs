@@ -164,6 +164,13 @@ fn decode_into(
     } else {
         0
     };
+    // Validate the payload's bit budget before sizing the work buffer, so a
+    // corrupt header cannot trigger an allocation the payload doesn't back.
+    if (r.remaining() as u64) < n as u64 * kept as u64 {
+        return Err(CodecError::Corrupt(
+            "buff payload shorter than header claims",
+        ));
+    }
     let stored = &mut scratch.u64s;
     stored.clear();
     stored.resize(n, 0);
@@ -195,6 +202,12 @@ pub(crate) fn scan_stats(block: &CompressedBlock) -> Result<(f64, f64, f64)> {
     let mut min_q = i64::MAX;
     let mut max_q = i64::MIN;
     let mut sum_q: i128 = 0;
+    // Validate before allocating (same containment as `decode_into`).
+    if (r.remaining() as u64) < n as u64 * kept as u64 {
+        return Err(CodecError::Corrupt(
+            "buff payload shorter than header claims",
+        ));
+    }
     let mut stored = vec![0u64; n];
     r.read_run(&mut stored, kept)?;
     for s in stored {
@@ -424,6 +437,12 @@ impl LossyCodec for BuffLossy {
             ..hdr
         };
         // Pure integer pass over the packed payload: virtual decompression.
+        // Validate before allocating (same containment as `decode_into`).
+        if (r.remaining() as u64) < n as u64 * cur_kept as u64 {
+            return Err(CodecError::Corrupt(
+                "buff payload shorter than header claims",
+            ));
+        }
         let mut stored = vec![0u64; n];
         r.read_run(&mut stored, cur_kept)?;
         for s in &mut stored {

@@ -12,6 +12,10 @@
 //! * `11` — new leading count: store 3-bit rounded leading count + the low
 //!   `64 − lead` bits.
 
+// Decode paths must survive arbitrary corrupted payloads; surface any
+// unchecked indexing so new sites get an explicit justification.
+#![warn(clippy::indexing_slicing)]
+
 use crate::bitio::{BitReader, BitWriter};
 use crate::block::{CodecId, CompressedBlock, CompressedBlockRef};
 use crate::error::{CodecError, Result};
@@ -19,6 +23,8 @@ use crate::scratch::CodecScratch;
 use crate::traits::{Codec, CodecKind};
 
 /// Rounded leading-zero buckets used by CHIMP (3-bit representation).
+// Const table build: the `while i < 65` loop bounds every write.
+#[allow(clippy::indexing_slicing)]
 const LEADING_ROUND: [u32; 65] = {
     let mut t = [0u32; 65];
     let mut i = 0;
@@ -55,6 +61,8 @@ fn leading_code(rounded: u32) -> u64 {
 
 /// Inverse of [`leading_code`].
 #[inline]
+// `code` comes from a 3-bit read, so it is always in 0..=7.
+#[allow(clippy::indexing_slicing)]
 fn leading_from_code(code: u64) -> u32 {
     [0, 8, 12, 16, 18, 20, 22, 24][code as usize]
 }
@@ -88,6 +96,9 @@ impl Codec for Chimp {
         Ok(out)
     }
 
+    // Encode path over caller-validated input: `data` is checked non-empty
+    // below, and `LEADING_ROUND` has 65 entries for leading_zeros() in 0..=64.
+    #[allow(clippy::indexing_slicing)]
     fn compress_into<'a>(
         &self,
         data: &[f64],
@@ -190,6 +201,7 @@ impl Codec for Chimp {
     }
 }
 
+#[allow(clippy::indexing_slicing)]
 #[cfg(test)]
 mod tests {
     use super::*;

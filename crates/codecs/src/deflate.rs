@@ -10,6 +10,10 @@
 //! strongest), `zlib-1/6/9` (the zlib ladder). `snappy` lives in
 //! [`crate::snappy`] and skips entropy coding entirely.
 
+// The inflate path handles untrusted payload bytes; surface every raw index
+// so each one carries an explicit bounds argument.
+#![warn(clippy::indexing_slicing)]
+
 use crate::bitio::{BitReader, BitWriter};
 use crate::block::{CodecId, CompressedBlock, CompressedBlockRef};
 use crate::error::{CodecError, Result};
@@ -96,6 +100,9 @@ const DIST_TABLE: [(u16, u8); 30] = [
 ];
 
 /// Map a match length (3..=258) to (symbol offset 0..28, extra bits, extra value).
+// `partition_point(..).saturating_sub(1)` is always < LEN_TABLE.len(), and
+// the 258 special case pins idx to the last entry.
+#[allow(clippy::indexing_slicing)]
 fn length_code(len: u16) -> (usize, u8, u16) {
     debug_assert!((MIN_MATCH as u16..=MAX_MATCH as u16).contains(&len));
     // Binary search over base values.
@@ -111,6 +118,8 @@ fn length_code(len: u16) -> (usize, u8, u16) {
 }
 
 /// Map a distance (1..=32768) to (symbol 0..29, extra bits, extra value).
+// `partition_point(..).saturating_sub(1)` is always < DIST_TABLE.len().
+#[allow(clippy::indexing_slicing)]
 fn dist_code(dist: u16) -> (usize, u8, u16) {
     let idx = DIST_TABLE
         .partition_point(|&(base, _)| base <= dist)
@@ -121,6 +130,9 @@ fn dist_code(dist: u16) -> (usize, u8, u16) {
 
 /// Write code lengths: nibble 1..=15 is a length; nibble 0 is followed by an
 /// 8-bit (run−1) count of zero lengths.
+// Encode-side hot path: `i` and `n` are bounded by the loop conditions
+// directly above each index.
+#[allow(clippy::indexing_slicing)]
 fn write_lens(w: &mut BitWriter, lens: &[u32]) {
     let mut nibbles = [0u64; 16];
     let mut i = 0;
@@ -181,6 +193,9 @@ pub fn deflate_bytes(data: &[u8], config: LzConfig) -> Vec<u8> {
 
 /// [`deflate_bytes`] into a reused output buffer, recycling the LZ77
 /// matcher tables, token buffer and Huffman state across calls.
+// Encode-side hot path over trusted tokens: frequency tables are resized to
+// the alphabet sizes and every symbol is alphabet-bounded by construction.
+#[allow(clippy::indexing_slicing)]
 pub fn deflate_bytes_into(
     data: &[u8],
     config: LzConfig,
@@ -251,6 +266,14 @@ pub fn inflate_bytes(payload: &[u8], expected_len: usize) -> Result<Vec<u8>> {
 
 /// [`inflate_bytes`] into a reused output buffer, recycling the token
 /// buffer and Huffman decoder state across calls.
+///
+/// Corruption containment: a running produced-byte count caps the token
+/// stream at `expected_len` while it is still being parsed, so a corrupt
+/// payload cannot grow the token buffer (or, later, the output) beyond the
+/// declared segment size.
+// `LEN_TABLE[idx]` / `DIST_TABLE[dsym]` are indexed only after the explicit
+// range checks directly above them.
+#[allow(clippy::indexing_slicing)]
 pub fn inflate_bytes_into(
     payload: &[u8],
     expected_len: usize,
@@ -268,12 +291,14 @@ pub fn inflate_bytes_into(
     let tokens = &mut lz.tokens;
     tokens.clear();
     tokens.reserve(expected_len / 4 + 8);
+    let mut produced = 0usize;
     loop {
         let sym = lit_dec.read(&mut r)? as usize;
         if sym == EOB {
             break;
         }
         if sym < 256 {
+            produced += 1;
             tokens.push(Token::Literal(sym as u8));
         } else {
             let idx = sym - 257;
@@ -288,7 +313,11 @@ pub fn inflate_bytes_into(
             }
             let (dbase, dextra) = DIST_TABLE[dsym];
             let dist = dbase + r.read_bits(dextra as u32)? as u16;
+            produced += len as usize;
             tokens.push(Token::Match { len, dist });
+        }
+        if produced > expected_len {
+            return Err(CodecError::Corrupt("deflate stream overruns output"));
         }
     }
     lz77_expand_into(tokens, expected_len, out).map_err(CodecError::Corrupt)?;
@@ -400,6 +429,7 @@ impl Codec for Deflate {
 }
 
 #[cfg(test)]
+#[allow(clippy::indexing_slicing)]
 mod tests {
     use super::*;
 

@@ -6,6 +6,10 @@
 //! (Figure 15). On high-entropy data the dictionary approaches the segment
 //! size and the ratio exceeds 1.0 — the MAB learns to avoid it.
 
+// Decode paths must survive arbitrary corrupted payloads; surface any
+// unchecked indexing so new sites get an explicit justification.
+#![warn(clippy::indexing_slicing)]
+
 use crate::bitio::{bits_needed, BitReader, BitWriter};
 use crate::block::{CodecId, CompressedBlock, CompressedBlockRef};
 use crate::error::{CodecError, Result};
@@ -122,6 +126,7 @@ impl Codec for Dict {
     }
 }
 
+#[allow(clippy::indexing_slicing)]
 #[cfg(test)]
 mod tests {
     use super::*;

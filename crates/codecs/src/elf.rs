@@ -13,6 +13,10 @@
 //! Decompression re-rounds to the declared precision, the same lossless
 //! convention as Sprintz/BUFF.
 
+// Decode paths must survive arbitrary corrupted payloads; surface any
+// unchecked indexing so new sites get an explicit justification.
+#![warn(clippy::indexing_slicing)]
+
 use crate::bitio::{BitReader, BitWriter};
 use crate::block::{CodecId, CompressedBlock, CompressedBlockRef};
 use crate::error::{CodecError, Result};
@@ -135,6 +139,8 @@ impl Codec for Elf {
         Ok(CompressedBlockRef::new(self.id(), data.len(), out))
     }
 
+    // `payload[0]` / `payload[1..]` are guarded by the emptiness check above them.
+    #[allow(clippy::indexing_slicing)]
     fn decompress_into(
         &self,
         block: &CompressedBlock,
@@ -155,6 +161,7 @@ impl Codec for Elf {
     }
 }
 
+#[allow(clippy::indexing_slicing)]
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,127 @@
+//! Deterministic fault injection for compressed payloads.
+//!
+//! The decode-fuzz harness (`tests/decode_fuzz.rs`) drives every registered
+//! codec's decoder with corrupted variants of known-good payloads. The
+//! mutations here model the on-device fault classes AdaEdge's best-effort
+//! story cares about: single/multi bit flips (bit rot, bus glitches),
+//! truncation (torn writes, partial flushes) and extension (appended
+//! garbage, misframed reads). All randomness flows through a caller-seeded
+//! RNG, so every failure reproduces from its case number alone.
+
+use rand::Rng;
+
+/// The fault classes [`mutate`] injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// One to four random bits flipped in place.
+    BitFlip,
+    /// Payload cut short at a random point (possibly to zero bytes).
+    Truncate,
+    /// One to sixteen random bytes appended.
+    Extend,
+}
+
+/// Flip 1..=4 random bits of `payload` in place. No-op on an empty payload.
+pub fn bit_flip<R: Rng>(payload: &mut [u8], rng: &mut R) {
+    if payload.is_empty() {
+        return;
+    }
+    let flips = rng.gen_range(1..=4usize);
+    for _ in 0..flips {
+        let byte = rng.gen_range(0..payload.len());
+        let bit = rng.gen_range(0..8u32);
+        if let Some(b) = payload.get_mut(byte) {
+            *b ^= 1 << bit;
+        }
+    }
+}
+
+/// Truncate `payload` to a random strictly-shorter length (possibly empty).
+/// No-op on an empty payload.
+pub fn truncate<R: Rng>(payload: &mut Vec<u8>, rng: &mut R) {
+    if payload.is_empty() {
+        return;
+    }
+    let keep = rng.gen_range(0..payload.len());
+    payload.truncate(keep);
+}
+
+/// Append 1..=16 random bytes to `payload`.
+pub fn extend<R: Rng>(payload: &mut Vec<u8>, rng: &mut R) {
+    let extra = rng.gen_range(1..=16usize);
+    for _ in 0..extra {
+        payload.push(rng.gen::<u8>());
+    }
+}
+
+/// Apply one randomly chosen fault class to `payload` (bit flips weighted
+/// highest — they exercise the deepest decode paths) and report which one
+/// was injected.
+pub fn mutate<R: Rng>(payload: &mut Vec<u8>, rng: &mut R) -> Fault {
+    match rng.gen_range(0..4u32) {
+        0 | 1 => {
+            bit_flip(payload, rng);
+            Fault::BitFlip
+        }
+        2 => {
+            truncate(payload, rng);
+            Fault::Truncate
+        }
+        _ => {
+            extend(payload, rng);
+            Fault::Extend
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mutations_are_deterministic_per_seed() {
+        let base: Vec<u8> = (0..64u8).collect();
+        for seed in 0..50u64 {
+            let mut a = base.clone();
+            let mut b = base.clone();
+            let fa = mutate(&mut a, &mut SmallRng::seed_from_u64(seed));
+            let fb = mutate(&mut b, &mut SmallRng::seed_from_u64(seed));
+            assert_eq!(fa, fb);
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn bit_flip_changes_payload_and_keeps_length() {
+        let base: Vec<u8> = vec![0xAB; 32];
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut p = base.clone();
+        bit_flip(&mut p, &mut rng);
+        assert_eq!(p.len(), base.len());
+        assert_ne!(p, base);
+    }
+
+    #[test]
+    fn truncate_shrinks_and_extend_grows() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut p = vec![1u8; 100];
+        truncate(&mut p, &mut rng);
+        assert!(p.len() < 100);
+        let before = p.len();
+        extend(&mut p, &mut rng);
+        assert!(p.len() > before && p.len() <= before + 16);
+    }
+
+    #[test]
+    fn empty_payload_is_safe() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut p: Vec<u8> = Vec::new();
+        bit_flip(&mut p, &mut rng);
+        truncate(&mut p, &mut rng);
+        assert!(p.is_empty());
+        extend(&mut p, &mut rng);
+        assert!(!p.is_empty());
+    }
+}

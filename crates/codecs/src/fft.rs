@@ -206,6 +206,9 @@ impl Codec for Fft {
         self.check_block(block)?;
         let n = block.n_points as usize;
         let payload = &block.payload;
+        if n == 0 {
+            return Err(CodecError::Corrupt("fft empty block with payload"));
+        }
         if payload.len() < 8 || !payload.len().is_multiple_of(BIN_BYTES) {
             return Err(CodecError::Corrupt("fft payload size"));
         }

@@ -12,6 +12,10 @@
 //! Works best on slowly-varying signals where consecutive doubles share
 //! exponent and high mantissa bits.
 
+// Decode paths must survive arbitrary corrupted payloads; surface any
+// unchecked indexing so new sites get an explicit justification.
+#![warn(clippy::indexing_slicing)]
+
 use crate::bitio::{BitReader, BitWriter};
 use crate::block::{CodecId, CompressedBlock, CompressedBlockRef};
 use crate::error::{CodecError, Result};
@@ -20,6 +24,9 @@ use crate::traits::{Codec, CodecKind};
 
 /// Encode a non-empty segment into an existing bit stream. Shared with the
 /// Elf codec, which prepends a precision byte to the same stream.
+// Callers uphold the documented non-empty precondition, so `data[0]`
+// and `data[1..]` are in bounds.
+#[allow(clippy::indexing_slicing)]
 pub(crate) fn gorilla_encode(data: &[f64], w: &mut BitWriter) {
     let mut prev = data[0].to_bits();
     w.write_bits(prev, 64);
@@ -149,6 +156,7 @@ impl Codec for Gorilla {
     }
 }
 
+#[allow(clippy::indexing_slicing)]
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -34,11 +34,13 @@ pub mod bitio;
 pub mod block;
 pub mod buff;
 pub mod chimp;
+pub mod crc32c;
 pub mod deflate;
 pub mod dict;
 pub mod direct;
 pub mod elf;
 pub mod error;
+pub mod faultkit;
 pub mod fft;
 pub mod gorilla;
 pub mod huffman;
@@ -57,6 +59,7 @@ pub mod traits;
 pub mod util;
 
 pub use block::{CodecId, CompressedBlock, CompressedBlockRef, POINT_BYTES};
+pub use crc32c::crc32c;
 pub use direct::{agg_with_fallback, direct_agg, AggOp};
 pub use error::{CodecError, Result};
 pub use registry::CodecRegistry;

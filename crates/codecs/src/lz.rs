@@ -6,6 +6,10 @@
 //! greedy depth-1 search is the "snappy" fast path; deep chains with lazy
 //! evaluation form the "gzip" slow path.
 
+// The expand path consumes untrusted token streams; surface every raw index
+// so each one carries an explicit bounds argument.
+#![warn(clippy::indexing_slicing)]
+
 /// Minimum match length worth encoding.
 pub const MIN_MATCH: usize = 3;
 /// Maximum match length (the DEFLATE limit).
@@ -92,6 +96,9 @@ impl LzConfig {
     }
 }
 
+// Hot path over trusted input: callers guarantee `i + 2 < data.len()`
+// (`hash_at` only yields positions with a full 3-gram).
+#[allow(clippy::indexing_slicing)]
 #[inline]
 fn hash3(data: &[u8], i: usize) -> usize {
     let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], 0]);
@@ -101,6 +108,8 @@ fn hash3(data: &[u8], i: usize) -> usize {
 /// Length of the common prefix of `data[a..]` and `data[b..]`, capped at
 /// `max`. Compares a word at a time; the first differing byte is located
 /// with a trailing-zeros count on the XOR of the mismatching words.
+// Hot path over trusted input: `max` caps both cursors at `data.len()`.
+#[allow(clippy::indexing_slicing)]
 #[inline]
 fn match_len(data: &[u8], a: usize, b: usize, max: usize) -> usize {
     let mut len = 0;
@@ -168,6 +177,9 @@ struct Matcher<'a> {
     max_chain: usize,
 }
 
+// Hot path over trusted input: chain indices are positions previously
+// inserted for this `data`, and `prev` is sized to `data.len()` by `begin`.
+#[allow(clippy::indexing_slicing)]
 impl<'a> Matcher<'a> {
     /// Hash of position `i`, or `None` past the last full 3-gram. Computed
     /// once per examined position and shared between `best_match` and
@@ -244,6 +256,9 @@ pub fn lz77_tokens(data: &[u8], config: LzConfig) -> Vec<Token> {
 
 /// [`lz77_tokens`] into a reusable scratch: the result lands in
 /// `scratch.tokens` and the matcher state is recycled across calls.
+// Hot path over trusted input: `i` never passes `data.len()` (match lengths
+// are bounded by the remaining input).
+#[allow(clippy::indexing_slicing)]
 pub fn lz77_tokens_into(data: &[u8], config: LzConfig, scratch: &mut LzScratch) {
     let base = scratch.begin(data.len());
     let (tokens, mut m) = {
@@ -327,6 +342,14 @@ pub fn lz77_expand(tokens: &[Token], expected_len: usize) -> Result<Vec<u8>, &'s
 }
 
 /// [`lz77_expand`] into a reused buffer (cleared, capacity kept).
+///
+/// Corruption containment: match distances are validated against the
+/// decoded prefix and every literal/copy is capped at `expected_len`, so a
+/// corrupt token stream can neither read out of bounds nor grow `out`
+/// beyond the declared size.
+// The only raw indexing is the match-copy read, guarded by the
+// `dist <= out.len()` check just above it.
+#[allow(clippy::indexing_slicing)]
 pub fn lz77_expand_into(
     tokens: &[Token],
     expected_len: usize,
@@ -336,12 +359,20 @@ pub fn lz77_expand_into(
     out.reserve(expected_len);
     for t in tokens {
         match *t {
-            Token::Literal(b) => out.push(b),
+            Token::Literal(b) => {
+                if out.len() >= expected_len {
+                    return Err("literal overruns output");
+                }
+                out.push(b);
+            }
             Token::Match { len, dist } => {
                 let dist = dist as usize;
                 let len = len as usize;
                 if dist == 0 || dist > out.len() {
                     return Err("match distance out of range");
+                }
+                if out.len() + len > expected_len {
+                    return Err("match copy overruns output");
                 }
                 let start = out.len() - dist;
                 // Overlapping copies are legal (dist < len): copy byte-wise.
@@ -356,6 +387,7 @@ pub fn lz77_expand_into(
 }
 
 #[cfg(test)]
+#[allow(clippy::indexing_slicing)]
 mod tests {
     use super::*;
 

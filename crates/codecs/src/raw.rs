@@ -1,6 +1,10 @@
 //! The identity "codec": raw little-endian doubles. Used as the control arm
 //! and as the representation of not-yet-compressed segments on disk.
 
+// Decode paths must survive arbitrary corrupted payloads; surface any
+// unchecked indexing so new sites get an explicit justification.
+#![warn(clippy::indexing_slicing)]
+
 use crate::block::{CodecId, CompressedBlock, CompressedBlockRef};
 use crate::error::{CodecError, Result};
 use crate::scratch::CodecScratch;
@@ -63,6 +67,7 @@ impl Codec for Raw {
     }
 }
 
+#[allow(clippy::indexing_slicing)]
 #[cfg(test)]
 mod tests {
     use super::*;

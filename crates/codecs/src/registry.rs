@@ -25,6 +25,9 @@ use crate::traits::{Codec, LossyCodec};
 /// precision (4 digits for CBF, 5 for UCR, 6 for UCI in the paper).
 pub struct CodecRegistry {
     precision: u8,
+    /// Fault-injection hook: compressing with this codec panics. See
+    /// [`CodecRegistry::inject_compress_panic`].
+    panic_on: Option<CodecId>,
     gzip: Deflate,
     snappy: Snappy,
     zlib1: Deflate,
@@ -59,6 +62,7 @@ impl CodecRegistry {
     pub fn new(precision: u8) -> Self {
         Self {
             precision,
+            panic_on: None,
             gzip: Deflate::gzip(),
             snappy: Snappy,
             zlib1: Deflate::zlib1(),
@@ -84,6 +88,16 @@ impl CodecRegistry {
     /// The decimal precision the quantizing codecs use.
     pub fn precision(&self) -> u8 {
         self.precision
+    }
+
+    /// Deterministic fault injection: every subsequent
+    /// [`CodecRegistry::compress_into`] call for `id` panics.
+    ///
+    /// This is the seam the fault-containment tests (and chaos
+    /// experiments) use to prove the engine survives a misbehaving codec;
+    /// production configurations never set it.
+    pub fn inject_compress_panic(&mut self, id: CodecId) {
+        self.panic_on = Some(id);
     }
 
     /// Look up a codec by id.
@@ -137,6 +151,9 @@ impl CodecRegistry {
         data: &[f64],
         scratch: &'a mut CodecScratch,
     ) -> Result<CompressedBlockRef<'a>> {
+        if self.panic_on == Some(id) {
+            panic!("injected codec fault: {id} compress");
+        }
         self.get(id).compress_into(data, scratch)
     }
 

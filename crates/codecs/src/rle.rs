@@ -7,6 +7,10 @@
 //!
 //! Payload: repeated `(count: u32 LE, value: f64 LE)`.
 
+// Decode paths must survive arbitrary corrupted payloads; surface any
+// unchecked indexing so new sites get an explicit justification.
+#![warn(clippy::indexing_slicing)]
+
 use crate::block::{CodecId, CompressedBlock, CompressedBlockRef};
 use crate::error::{CodecError, Result};
 use crate::scratch::CodecScratch;
@@ -43,6 +47,8 @@ impl Codec for Rle {
         Ok(out)
     }
 
+    // `data[0]` / `data[1..]` are guarded by the emptiness check below.
+    #[allow(clippy::indexing_slicing)]
     fn compress_into<'a>(
         &self,
         data: &[f64],
@@ -71,6 +77,9 @@ impl Codec for Rle {
         Ok(CompressedBlockRef::new(self.id(), data.len(), payload))
     }
 
+    // `chunks_exact(PAIR_BYTES)` guarantees each `pair` is exactly 12 bytes,
+    // so the 4/8-byte splits cannot be out of bounds.
+    #[allow(clippy::indexing_slicing)]
     fn decompress_into(
         &self,
         block: &CompressedBlock,
@@ -99,6 +108,7 @@ impl Codec for Rle {
     }
 }
 
+#[allow(clippy::indexing_slicing)]
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,6 +7,10 @@
 //! * control byte `c >= 128` — a match of length `c - 128 + MIN_MATCH`
 //!   (3..=130), followed by a little-endian `u16` distance.
 
+// Decode paths handle untrusted payload bytes; surface every raw index so
+// each one carries an explicit bounds argument.
+#![warn(clippy::indexing_slicing)]
+
 use crate::block::{CodecId, CompressedBlock, CompressedBlockRef};
 use crate::error::{CodecError, Result};
 use crate::lz::{lz77_tokens_into, LzConfig, LzScratch, Token, MIN_MATCH};
@@ -28,6 +32,9 @@ pub fn snappy_compress_bytes(data: &[u8]) -> Vec<u8> {
 /// LZ77 matcher state. Literal runs are flushed directly from input ranges
 /// (the token stream covers `data` in order), so no staging buffer is
 /// needed.
+// Hot path over trusted input: `lit_start`/`pos` walk the token stream,
+// which covers `data` exactly once in order, so every slice is in bounds.
+#[allow(clippy::indexing_slicing)]
 pub fn snappy_compress_bytes_into(data: &[u8], lz: &mut LzScratch, out: &mut Vec<u8>) {
     lz77_tokens_into(data, LzConfig::fast(), lz);
     out.clear();
@@ -77,6 +84,15 @@ pub fn snappy_decompress_bytes(payload: &[u8], expected_len: usize) -> Result<Ve
 }
 
 /// [`snappy_decompress_bytes`] into a reused buffer (cleared, capacity kept).
+///
+/// Corruption containment: every literal run and match copy is checked
+/// against both the remaining payload and `expected_len` *before* it is
+/// applied, so a corrupt stream can neither read out of bounds nor grow
+/// `out` past the caller's declared segment size.
+// Every index below is guarded: `i` is re-checked against `payload.len()`
+// before each read, and match copies check `dist`/`len` against the decoded
+// prefix and the expected-length cap first.
+#[allow(clippy::indexing_slicing)]
 pub fn snappy_decompress_bytes_into(
     payload: &[u8],
     expected_len: usize,
@@ -93,6 +109,9 @@ pub fn snappy_decompress_bytes_into(
             if i + run > payload.len() {
                 return Err(CodecError::Corrupt("literal run past end"));
             }
+            if out.len() + run > expected_len {
+                return Err(CodecError::Corrupt("literal run overruns output"));
+            }
             out.extend_from_slice(&payload[i..i + run]);
             i += run;
         } else {
@@ -104,6 +123,9 @@ pub fn snappy_decompress_bytes_into(
             i += 2;
             if dist == 0 || dist > out.len() {
                 return Err(CodecError::Corrupt("copy distance out of range"));
+            }
+            if out.len() + len > expected_len {
+                return Err(CodecError::Corrupt("match copy overruns output"));
             }
             let start = out.len() - dist;
             for k in 0..len {
@@ -175,6 +197,7 @@ impl Codec for Snappy {
 }
 
 #[cfg(test)]
+#[allow(clippy::indexing_slicing)]
 mod tests {
     use super::*;
 

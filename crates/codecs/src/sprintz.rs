@@ -8,6 +8,10 @@
 //! 8-bit width header each. Decompression restores the quantized values
 //! exactly, which is the paper's definition of lossless for these codecs.
 
+// Decode paths must survive arbitrary corrupted payloads; surface any
+// unchecked indexing so new sites get an explicit justification.
+#![warn(clippy::indexing_slicing)]
+
 use crate::bitio::{bits_needed, zigzag_decode, BitReader, BitWriter};
 use crate::block::{CodecId, CompressedBlock, CompressedBlockRef};
 use crate::error::{CodecError, Result};
@@ -62,6 +66,9 @@ impl Codec for Sprintz {
         Ok(out)
     }
 
+    // `q[0]` is in bounds: `quantize_into` fills one slot per input point and
+    // `data` is checked non-empty below.
+    #[allow(clippy::indexing_slicing)]
     fn compress_into<'a>(
         &self,
         data: &[f64],
@@ -97,6 +104,8 @@ impl Codec for Sprintz {
         Ok(CompressedBlockRef::new(self.id(), data.len(), out))
     }
 
+    // `take = remaining.min(BLOCK)` caps both `lane` slices at the array length.
+    #[allow(clippy::indexing_slicing)]
     fn decompress_into(
         &self,
         block: &CompressedBlock,
@@ -136,6 +145,7 @@ impl Codec for Sprintz {
     }
 }
 
+#[allow(clippy::indexing_slicing)]
 #[cfg(test)]
 mod tests {
     use super::*;

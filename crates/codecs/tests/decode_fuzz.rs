@@ -1,0 +1,126 @@
+//! Deterministic decode fault-injection harness.
+//!
+//! Every registered codec's decoder is fed thousands of seeded mutations
+//! (bit flips, truncations, extensions) of a golden compressed block, plus
+//! degenerate payloads, and must uphold the corruption contract:
+//!
+//! * never panic — corrupted input returns `Err(CodecError::…)`;
+//! * never produce more than `n_points` values on a successful decode
+//!   (which bounds allocation by the header's claim, not the payload's).
+//!
+//! Seeds are fixed, so a failure reproduces exactly; the failing codec,
+//! case index, and fault kind are in the assertion message.
+
+use adaedge_codecs::faultkit;
+use adaedge_codecs::{CodecId, CodecRegistry, CodecScratch, CompressedBlock};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Seeded mutation cases per codec (ISSUE floor: 2000).
+const CASES_PER_CODEC: usize = 2500;
+
+fn signal(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i as f64 * 0.013).sin() * 3.0 * 1e4).round() / 1e4)
+        .collect()
+}
+
+fn golden_block(reg: &CodecRegistry, id: CodecId) -> CompressedBlock {
+    reg.get(id)
+        .compress(&signal(512))
+        .unwrap_or_else(|e| panic!("{id}: golden fixture must compress: {e}"))
+}
+
+/// Decode `block` under `catch_unwind`, asserting error-not-panic and the
+/// `n_points` output cap. `label` identifies the case in failures.
+fn assert_contained(reg: &CodecRegistry, block: &CompressedBlock, via_into: bool, label: &str) {
+    let cap = block.n_points as usize;
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if via_into {
+            let mut scratch = CodecScratch::new();
+            let mut out = Vec::new();
+            reg.decompress_into(block, &mut scratch, &mut out)
+                .map(|()| out.len())
+        } else {
+            reg.decompress(block).map(|v| v.len())
+        }
+    }));
+    match outcome {
+        Ok(Ok(len)) => assert!(
+            len <= cap,
+            "{label}: decode produced {len} points, header claimed {cap}"
+        ),
+        Ok(Err(_)) => {} // clean rejection — the contract
+        Err(_) => panic!("{label}: decoder panicked on corrupted input"),
+    }
+}
+
+#[test]
+fn mutated_payloads_error_instead_of_panicking() {
+    let reg = CodecRegistry::new(4);
+    for (idx, id) in CodecId::ALL.into_iter().enumerate() {
+        let golden = golden_block(&reg, id);
+        let mut rng = SmallRng::seed_from_u64(0xADAE_D6E0 + idx as u64);
+        for case in 0..CASES_PER_CODEC {
+            let mut block = golden.clone();
+            let fault = faultkit::mutate(&mut block.payload, &mut rng);
+            // A quarter of the cases also lie about the point count, so
+            // header/payload disagreement is exercised (the fft-class bug).
+            if rng.gen_bool(0.25) {
+                block.n_points = rng.gen_range(0..=1024u32);
+            }
+            let label = format!("{id} case {case} ({fault:?}, n_points={})", block.n_points);
+            assert_contained(&reg, &block, case % 2 == 1, &label);
+        }
+    }
+}
+
+#[test]
+fn degenerate_payloads_error_instead_of_panicking() {
+    let reg = CodecRegistry::new(4);
+    let payloads: [Vec<u8>; 6] = [
+        vec![],
+        vec![0x00],
+        vec![0xFF],
+        vec![0x00; 64],
+        vec![0xFF; 64],
+        vec![0xA5; 7],
+    ];
+    for id in CodecId::ALL {
+        for (p, payload) in payloads.iter().enumerate() {
+            for n_points in [0u32, 1, 512, 1 << 20] {
+                let block = CompressedBlock {
+                    codec: id,
+                    n_points,
+                    payload: payload.clone(),
+                };
+                // The 1<<20 case claims a million points backed by < 65
+                // payload bytes: decoders must reject the mismatch rather
+                // than trust the header.
+                let label = format!("{id} degenerate payload #{p}, n_points={n_points}");
+                assert_contained(&reg, &block, p % 2 == 1, &label);
+            }
+        }
+    }
+}
+
+#[test]
+fn truncation_ladder_is_contained_for_every_codec() {
+    // Walk every prefix length of the golden payload: catches decoders
+    // that read headers or trailing state without bounds checks.
+    let reg = CodecRegistry::new(4);
+    for id in CodecId::ALL {
+        let golden = golden_block(&reg, id);
+        let step = (golden.payload.len() / 64).max(1);
+        for len in (0..golden.payload.len()).step_by(step) {
+            let block = CompressedBlock {
+                codec: id,
+                n_points: golden.n_points,
+                payload: golden.payload[..len].to_vec(),
+            };
+            let label = format!("{id} truncated to {len}/{} bytes", golden.payload.len());
+            assert_contained(&reg, &block, len % 2 == 1, &label);
+        }
+    }
+}

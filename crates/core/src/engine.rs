@@ -8,12 +8,14 @@
 //! a spill-to-disk event (the paper flushes to disk when the uncompressed
 //! buffer overflows).
 
+use crate::error::{AdaEdgeError, Result};
 use crate::selector::{LosslessSelector, SelectorConfig};
 use adaedge_codecs::{CodecId, CodecRegistry, CodecScratch};
 use adaedge_datasets::SegmentSource;
 use crossbeam::channel;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -31,6 +33,11 @@ pub struct EngineConfig {
     pub selector: SelectorConfig,
     /// Dataset decimal precision.
     pub precision: u8,
+    /// Deterministic fault injection for containment tests: every compress
+    /// call for this codec panics inside the workers (see
+    /// [`CodecRegistry::inject_compress_panic`]). Production configurations
+    /// leave this `None`.
+    pub fault_injection: Option<CodecId>,
 }
 
 impl Default for EngineConfig {
@@ -41,6 +48,7 @@ impl Default for EngineConfig {
             lossless_arms: CodecRegistry::lossless_candidates(),
             selector: SelectorConfig::default(),
             precision: 4,
+            fault_injection: None,
         }
     }
 }
@@ -64,16 +72,30 @@ pub struct EngineReport {
     pub spills: u64,
     /// How often each codec was selected.
     pub codec_counts: HashMap<CodecId, u64>,
+    /// Contained codec failures (errors or panics caught inside workers).
+    /// Each failed segment was degraded to Raw rather than lost.
+    pub codec_failures: u64,
+    /// Arms the selector quarantined after repeated consecutive failures.
+    pub quarantined: Vec<CodecId>,
 }
 
 /// Run `n_segments` from `source` through the pipeline and report
 /// aggregate throughput.
+///
+/// Codec errors and panics are contained per segment (the segment is
+/// stored Raw and the arm penalized); `Err(AdaEdgeError::WorkerFailed)`
+/// is returned only if a worker thread dies outside that contained
+/// region, or the recycle pool cannot be seeded.
 pub fn run_pipeline(
     source: &mut dyn SegmentSource,
     n_segments: usize,
     config: &EngineConfig,
-) -> EngineReport {
-    let reg = CodecRegistry::new(config.precision);
+) -> Result<EngineReport> {
+    let mut reg = CodecRegistry::new(config.precision);
+    if let Some(id) = config.fault_injection {
+        reg.inject_compress_panic(id);
+    }
+    let reg = reg;
     let selector = Mutex::new(LosslessSelector::new(
         config.lossless_arms.clone(),
         config.selector,
@@ -93,15 +115,18 @@ pub fn run_pipeline(
     for _ in 0..pool {
         recycle_tx
             .send(Vec::with_capacity(source.segment_len()))
-            .expect("recycle receiver alive");
+            .map_err(|_| AdaEdgeError::WorkerFailed {
+                stage: "recycle pool seeding",
+            })?;
     }
     let bytes_out = AtomicU64::new(0);
     let spills = AtomicU64::new(0);
+    let codec_failures = AtomicU64::new(0);
     let segment_points = source.segment_len() as u64;
 
     let start = Instant::now();
     let mut codec_counts: HashMap<CodecId, u64> = HashMap::new();
-    std::thread::scope(|scope| {
+    std::thread::scope(|scope| -> Result<()> {
         let mut workers = Vec::new();
         for _ in 0..n_threads {
             let rx = rx.clone();
@@ -109,17 +134,38 @@ pub fn run_pipeline(
             let reg = &reg;
             let selector = &selector;
             let bytes_out = &bytes_out;
+            let codec_failures = &codec_failures;
             workers.push(scope.spawn(move || {
                 let mut scratch = CodecScratch::new();
                 let mut local_counts: HashMap<CodecId, u64> = HashMap::new();
                 while let Ok(data) = rx.recv() {
                     // Select under the lock, compress outside it, report back.
                     let (arm, codec) = selector.lock().select_arm();
-                    if let Ok(block) = reg.compress_into(codec, &data, &mut scratch) {
-                        let ratio = block.ratio();
-                        bytes_out.fetch_add(block.compressed_bytes() as u64, Ordering::Relaxed);
-                        selector.lock().report_ratio(arm, ratio);
-                        *local_counts.entry(codec).or_insert(0) += 1;
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        reg.compress_into(codec, &data, &mut scratch)
+                            .map(|b| (b.ratio(), b.compressed_bytes()))
+                    }));
+                    match outcome {
+                        Ok(Ok((ratio, bytes))) => {
+                            bytes_out.fetch_add(bytes as u64, Ordering::Relaxed);
+                            selector.lock().report_ratio(arm, ratio);
+                            *local_counts.entry(codec).or_insert(0) += 1;
+                        }
+                        // Codec error or caught panic: contain it, penalize
+                        // the arm, and degrade this segment to Raw so no
+                        // data is lost. (A panicked compress may have left
+                        // the arena mid-write; Raw rebuilds its output from
+                        // scratch, so the fallback is unaffected.)
+                        _ => {
+                            codec_failures.fetch_add(1, Ordering::Relaxed);
+                            selector.lock().record_failure(arm);
+                            if let Ok(block) = reg.compress_into(CodecId::Raw, &data, &mut scratch)
+                            {
+                                bytes_out
+                                    .fetch_add(block.compressed_bytes() as u64, Ordering::Relaxed);
+                                *local_counts.entry(CodecId::Raw).or_insert(0) += 1;
+                            }
+                        }
                     }
                     // Hand the drained buffer back to the ingestion stage
                     // (fails harmlessly once ingestion is done).
@@ -153,16 +199,30 @@ pub fn run_pipeline(
         drop(tx);
         drop(recycle_rx);
 
+        // Join every worker before deciding the outcome so a single dead
+        // thread cannot leave the scope with unjoined panics.
+        let mut lost_worker = false;
         for w in workers {
-            let local = w.join().expect("worker panicked");
-            for (codec, count) in local {
-                *codec_counts.entry(codec).or_insert(0) += count;
+            match w.join() {
+                Ok(local) => {
+                    for (codec, count) in local {
+                        *codec_counts.entry(codec).or_insert(0) += count;
+                    }
+                }
+                Err(_) => lost_worker = true,
             }
         }
-    });
+        if lost_worker {
+            return Err(AdaEdgeError::WorkerFailed {
+                stage: "compression worker",
+            });
+        }
+        Ok(())
+    })?;
     let elapsed = start.elapsed().as_secs_f64();
     let points = n_segments as u64 * segment_points;
-    EngineReport {
+    let selector = selector.into_inner();
+    Ok(EngineReport {
         segments: n_segments as u64,
         points,
         bytes_in: points * 8,
@@ -171,7 +231,9 @@ pub fn run_pipeline(
         points_per_sec: points as f64 / elapsed.max(1e-9),
         spills: spills.load(Ordering::Relaxed),
         codec_counts,
-    }
+        codec_failures: codec_failures.load(Ordering::Relaxed),
+        quarantined: selector.quarantined_arms(),
+    })
 }
 
 /// Offline-mode engine configuration: the paper's 4-thread layout
@@ -235,16 +297,24 @@ pub struct OfflineEngineReport {
     pub elapsed_seconds: f64,
     /// Achieved throughput in points/s.
     pub points_per_sec: f64,
+    /// Contained codec failures (errors or panics caught inside workers).
+    pub codec_failures: u64,
+    /// Lossless arms quarantined after repeated consecutive failures.
+    pub quarantined: Vec<CodecId>,
 }
 
 /// Run the multithreaded offline pipeline: ingestion (caller thread) →
 /// bounded buffer → compression workers → shared budgeted store, with a
 /// dedicated recoding thread draining space via the banded lossy MAB.
+///
+/// Codec failures are contained per segment exactly as in
+/// [`run_pipeline`]; `Err(AdaEdgeError::WorkerFailed)` means a worker or
+/// the recoding thread died outside the contained region.
 pub fn run_offline_pipeline(
     source: &mut dyn SegmentSource,
     n_segments: usize,
     config: &OfflineEngineConfig,
-) -> OfflineEngineReport {
+) -> Result<OfflineEngineReport> {
     use crate::selector::BandedLossySelector;
     use crate::targets::RewardEvaluator;
     use adaedge_storage::SegmentStore;
@@ -278,14 +348,17 @@ pub fn run_offline_pipeline(
     for _ in 0..pool {
         recycle_tx
             .send(Vec::with_capacity(source.segment_len()))
-            .expect("recycle receiver alive");
+            .map_err(|_| AdaEdgeError::WorkerFailed {
+                stage: "recycle pool seeding",
+            })?;
     }
+    let codec_failures = AtomicU64::new(0);
     let segment_points = source.segment_len() as u64;
     let threshold = config.recode_threshold;
     let budget = config.storage_budget_bytes;
 
     let start = Instant::now();
-    std::thread::scope(|scope| {
+    std::thread::scope(|scope| -> Result<()> {
         // Recoding thread: frees space whenever occupancy crosses θ·budget.
         let recoder = {
             let store = &store;
@@ -375,21 +448,38 @@ pub fn run_offline_pipeline(
             let store = &store;
             let store_cv = &store_cv;
             let drops = &drops;
+            let codec_failures = &codec_failures;
             workers.push(scope.spawn(move || {
                 let mut scratch = CodecScratch::new();
                 while let Ok(data) = rx.recv() {
                     let (arm, codec) = lossless.lock().select_arm();
-                    let compressed = reg.compress_into(codec, &data, &mut scratch);
-                    let _ = recycle_tx.send(data);
-                    let Ok(block_ref) = compressed else {
-                        drops.fetch_add(1, Ordering::Relaxed);
-                        continue;
-                    };
-                    let ratio = block_ref.ratio();
                     // The store takes ownership, so the scratch-backed block
-                    // is materialized once here.
-                    let block = block_ref.to_block();
-                    lossless.lock().report_ratio(arm, ratio);
+                    // is materialized once inside the contained region.
+                    let compressed = catch_unwind(AssertUnwindSafe(|| {
+                        reg.compress_into(codec, &data, &mut scratch)
+                            .map(|b| (b.ratio(), b.to_block()))
+                    }));
+                    let block = match compressed {
+                        Ok(Ok((ratio, block))) => {
+                            lossless.lock().report_ratio(arm, ratio);
+                            block
+                        }
+                        // Codec error or caught panic: penalize the arm and
+                        // degrade the segment to Raw instead of losing it.
+                        _ => {
+                            codec_failures.fetch_add(1, Ordering::Relaxed);
+                            lossless.lock().record_failure(arm);
+                            match reg.compress_into(CodecId::Raw, &data, &mut scratch) {
+                                Ok(b) => b.to_block(),
+                                Err(_) => {
+                                    drops.fetch_add(1, Ordering::Relaxed);
+                                    let _ = recycle_tx.send(data);
+                                    continue;
+                                }
+                            }
+                        }
+                    };
+                    let _ = recycle_tx.send(data);
                     // Wait (bounded) for the recoder to clear space, sleeping
                     // on the condvar between attempts instead of spinning.
                     let mut stored = false;
@@ -430,18 +520,35 @@ pub fn run_offline_pipeline(
         }
         drop(tx);
         drop(recycle_rx);
+        // Join everything before deciding the outcome so the scope never
+        // exits with an unjoined panicked thread.
+        let mut lost_worker = false;
         for w in workers {
-            w.join().expect("worker panicked");
+            if w.join().is_err() {
+                lost_worker = true;
+            }
         }
         workers_done.store(true, Ordering::Release);
         store_cv.notify_all();
-        recoder.join().expect("recoder panicked");
-    });
+        let lost_recoder = recoder.join().is_err();
+        if lost_worker {
+            return Err(AdaEdgeError::WorkerFailed {
+                stage: "compression worker",
+            });
+        }
+        if lost_recoder {
+            return Err(AdaEdgeError::WorkerFailed {
+                stage: "recoding thread",
+            });
+        }
+        Ok(())
+    })?;
 
     let elapsed = start.elapsed().as_secs_f64();
+    let lossless = lossless.into_inner();
     let guard = store.lock();
     let points = n_segments as u64 * segment_points;
-    OfflineEngineReport {
+    Ok(OfflineEngineReport {
         segments: guard.len() as u64,
         points,
         stored_bytes: guard.used_bytes(),
@@ -450,7 +557,9 @@ pub fn run_offline_pipeline(
         drops: drops.load(Ordering::Relaxed),
         elapsed_seconds: elapsed,
         points_per_sec: points as f64 / elapsed.max(1e-9),
-    }
+        codec_failures: codec_failures.load(Ordering::Relaxed),
+        quarantined: lossless.quarantined_arms(),
+    })
 }
 
 #[cfg(test)]
@@ -464,7 +573,7 @@ mod tests {
             n_compression_threads: threads,
             ..Default::default()
         };
-        run_pipeline(&mut source, segments, &config)
+        run_pipeline(&mut source, segments, &config).expect("pipeline")
     }
 
     #[test]
@@ -477,6 +586,32 @@ mod tests {
         assert!(report.bytes_out < report.bytes_in);
         let total: u64 = report.codec_counts.values().sum();
         assert_eq!(total, 50);
+        assert_eq!(report.codec_failures, 0);
+        assert!(report.quarantined.is_empty());
+    }
+
+    #[test]
+    fn injected_codec_panic_is_contained() {
+        let mut source = SineStream::new(1000, 0.1, 4, 7);
+        let config = EngineConfig {
+            n_compression_threads: 2,
+            lossless_arms: vec![CodecId::Gzip, CodecId::Snappy],
+            fault_injection: Some(CodecId::Gzip),
+            ..Default::default()
+        };
+        let report = run_pipeline(&mut source, 60, &config).expect("faulty arm must be contained");
+        // Every segment still lands somewhere: the healthy arm or Raw.
+        let total: u64 = report.codec_counts.values().sum();
+        assert_eq!(total, 60);
+        assert_eq!(report.codec_counts.get(&CodecId::Gzip), None);
+        // The failures were observed, routed to Raw, and the arm ended up
+        // quarantined (optimistic init keeps re-picking it until then).
+        assert!(report.codec_failures >= 3, "{}", report.codec_failures);
+        assert_eq!(
+            report.codec_counts.get(&CodecId::Raw).copied().unwrap_or(0),
+            report.codec_failures
+        );
+        assert_eq!(report.quarantined, vec![CodecId::Gzip]);
     }
 
     #[test]
@@ -495,7 +630,7 @@ mod tests {
             storage_budget_bytes: 60_000,
             ..OfflineEngineConfig::new(60_000, OptimizationTarget::agg(AggKind::Sum))
         };
-        let report = run_offline_pipeline(&mut source, 100, &config);
+        let report = run_offline_pipeline(&mut source, 100, &config).expect("pipeline");
         assert_eq!(report.segments + report.drops, 100);
         assert!(report.drops <= 2, "drops {}", report.drops);
         assert!(report.utilization <= 1.0 + 1e-9);
@@ -509,10 +644,12 @@ mod tests {
         use crate::targets::OptimizationTarget;
         let mut source = SineStream::new(500, 0.1, 4, 5);
         let config = OfflineEngineConfig::new(10 << 20, OptimizationTarget::agg(AggKind::Sum));
-        let report = run_offline_pipeline(&mut source, 30, &config);
+        let report = run_offline_pipeline(&mut source, 30, &config).expect("pipeline");
         assert_eq!(report.segments, 30);
         assert_eq!(report.drops, 0);
         assert_eq!(report.recodes, 0);
+        assert_eq!(report.codec_failures, 0);
+        assert!(report.quarantined.is_empty());
     }
 
     #[test]

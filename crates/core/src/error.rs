@@ -24,6 +24,14 @@ pub enum AdaEdgeError {
         /// Seconds of processing backlog beyond the allowance.
         backlog_seconds: f64,
     },
+    /// A pipeline worker thread died (panicked outside the contained
+    /// codec-call region) and its results are lost. The per-codec panics
+    /// the engine catches and degrades around do *not* raise this; it is
+    /// the containment boundary of last resort.
+    WorkerFailed {
+        /// Which pipeline stage lost a thread.
+        stage: &'static str,
+    },
     /// Configuration error.
     Config(&'static str),
 }
@@ -38,6 +46,9 @@ impl std::fmt::Display for AdaEdgeError {
             }
             AdaEdgeError::DeadlineMissed { backlog_seconds } => {
                 write!(f, "ingestion deadline missed by {backlog_seconds:.3}s")
+            }
+            AdaEdgeError::WorkerFailed { stage } => {
+                write!(f, "pipeline worker failed: {stage}")
             }
             AdaEdgeError::Config(what) => write!(f, "configuration error: {what}"),
         }
@@ -60,3 +71,71 @@ impl From<StoreError> for AdaEdgeError {
 
 /// Convenient alias.
 pub type Result<T> = std::result::Result<T, AdaEdgeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaedge_codecs::CodecId;
+    use adaedge_storage::SegmentId;
+
+    #[test]
+    fn no_feasible_arm_displays_target() {
+        let e = AdaEdgeError::NoFeasibleArm { target_ratio: 0.05 };
+        let msg = e.to_string();
+        assert!(msg.contains("no codec"), "{msg}");
+        assert!(msg.contains("0.0500"), "{msg}");
+        assert_eq!(e, e.clone());
+    }
+
+    #[test]
+    fn deadline_missed_displays_backlog() {
+        let e = AdaEdgeError::DeadlineMissed {
+            backlog_seconds: 1.25,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("deadline missed"), "{msg}");
+        assert!(msg.contains("1.250"), "{msg}");
+    }
+
+    #[test]
+    fn worker_failed_displays_stage() {
+        let e = AdaEdgeError::WorkerFailed {
+            stage: "compression worker",
+        };
+        assert_eq!(e.to_string(), "pipeline worker failed: compression worker");
+    }
+
+    #[test]
+    fn wrong_codec_round_trips_through_from() {
+        let codec_err = CodecError::WrongCodec {
+            expected: CodecId::Paa,
+            found: CodecId::Fft,
+        };
+        let e: AdaEdgeError = codec_err.clone().into();
+        assert_eq!(e, AdaEdgeError::Codec(codec_err.clone()));
+        let msg = e.to_string();
+        assert!(msg.starts_with("codec error:"), "{msg}");
+        assert!(msg.contains("Paa") && msg.contains("Fft"), "{msg}");
+        // The inner error is preserved verbatim inside the framework error.
+        match e {
+            AdaEdgeError::Codec(inner) => assert_eq!(inner, codec_err),
+            other => panic!("expected Codec variant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn store_error_round_trips_through_from() {
+        let store_err = StoreError::NotFound(SegmentId(7));
+        let e: AdaEdgeError = store_err.clone().into();
+        assert_eq!(e, AdaEdgeError::Store(store_err));
+        let msg = e.to_string();
+        assert!(msg.starts_with("store error:"), "{msg}");
+        assert!(msg.contains("seg#7"), "{msg}");
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        let e: Box<dyn std::error::Error> = Box::new(AdaEdgeError::Config("bad"));
+        assert_eq!(e.to_string(), "configuration error: bad");
+    }
+}

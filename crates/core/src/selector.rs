@@ -123,6 +123,10 @@ pub struct Selection {
     pub reward: f64,
 }
 
+/// How many *consecutive* failures (codec errors or caught panics) an arm
+/// may accumulate before [`LosslessSelector`] quarantines it.
+pub const QUARANTINE_AFTER: u32 = 3;
+
 /// MAB over lossless arms, rewarding small compressed sizes.
 pub struct LosslessSelector {
     arms: Vec<CodecId>,
@@ -130,6 +134,18 @@ pub struct LosslessSelector {
     rng: SmallRng,
     /// Reused compression arena for [`Self::compress`].
     scratch: CodecScratch,
+    /// Consecutive failures per arm; reset by a successful report.
+    consecutive_failures: Vec<u32>,
+    /// Cumulative failures per arm (never reset; surfaced in reports).
+    failure_totals: Vec<u64>,
+    /// Arms masked out of selection after repeated failures. Sticky for
+    /// the selector's lifetime: a codec that panicked on this workload is
+    /// not trusted again mid-run.
+    quarantined: Vec<bool>,
+    /// Pre-allocated selection mask so the steady-state select path stays
+    /// allocation-free even while arms are quarantined.
+    mask: Vec<bool>,
+    n_quarantined: usize,
 }
 
 impl std::fmt::Debug for LosslessSelector {
@@ -149,11 +165,17 @@ impl LosslessSelector {
             "lossless selector requires lossless arms"
         );
         let mab = config.build_mab(arms.len());
+        let n = arms.len();
         Self {
             arms,
             mab,
             rng: SmallRng::seed_from_u64(config.seed),
             scratch: CodecScratch::new(),
+            consecutive_failures: vec![0; n],
+            failure_totals: vec![0; n],
+            quarantined: vec![false; n],
+            mask: vec![true; n],
+            n_quarantined: 0,
         }
     }
 
@@ -183,9 +205,54 @@ impl LosslessSelector {
 
     /// Select an arm without compressing (split API for the multithreaded
     /// engine, which compresses outside the selector lock).
+    ///
+    /// Quarantined arms are masked out. When *every* arm is quarantined
+    /// the selector fails open (no mask) — arms keep being tried and the
+    /// engine's per-segment Raw fallback contains the damage.
     pub fn select_arm(&mut self) -> (usize, CodecId) {
-        let arm = self.mab.select(None, &mut self.rng);
+        let mask = if self.n_quarantined == 0 || self.n_quarantined == self.arms.len() {
+            None
+        } else {
+            for (m, q) in self.mask.iter_mut().zip(&self.quarantined) {
+                *m = !q;
+            }
+            Some(self.mask.as_slice())
+        };
+        let arm = self.mab.select(mask, &mut self.rng);
         (arm, self.arms[arm])
+    }
+
+    /// Record a failed compression attempt (codec error or caught panic)
+    /// for `arm`. After [`QUARANTINE_AFTER`] consecutive failures the arm
+    /// is quarantined and no longer selected. Returns whether the arm is
+    /// now quarantined.
+    pub fn record_failure(&mut self, arm: usize) -> bool {
+        self.failure_totals[arm] += 1;
+        self.consecutive_failures[arm] += 1;
+        if !self.quarantined[arm] && self.consecutive_failures[arm] >= QUARANTINE_AFTER {
+            self.quarantined[arm] = true;
+            self.n_quarantined += 1;
+        }
+        self.quarantined[arm]
+    }
+
+    /// Whether `arm` is currently quarantined.
+    pub fn is_quarantined(&self, arm: usize) -> bool {
+        self.quarantined[arm]
+    }
+
+    /// The currently quarantined arms (empty in a healthy run).
+    pub fn quarantined_arms(&self) -> Vec<CodecId> {
+        self.arms
+            .iter()
+            .zip(&self.quarantined)
+            .filter_map(|(&a, &q)| q.then_some(a))
+            .collect()
+    }
+
+    /// Cumulative per-arm failure counts, aligned with [`Self::arms`].
+    pub fn failure_totals(&self) -> &[u64] {
+        &self.failure_totals
     }
 
     /// Feed the size reward for a block produced by `arm` back to the MAB.
@@ -197,6 +264,9 @@ impl LosslessSelector {
     /// `ratio` back to the MAB (borrow-free variant of
     /// [`Self::report_block`] for callers holding a scratch-backed block).
     pub fn report_ratio(&mut self, arm: usize, ratio: f64) -> f64 {
+        // A successful compression clears the arm's consecutive-failure
+        // streak (quarantine itself is sticky).
+        self.consecutive_failures[arm] = 0;
         // Smaller is better; ratios above 1 (failed compression) floor at 0.
         let reward = (1.0 - ratio).clamp(0.0, 1.0);
         self.mab.update(arm, reward);
@@ -207,9 +277,13 @@ impl LosslessSelector {
     pub fn compress(&mut self, reg: &CodecRegistry, data: &[f64]) -> Result<Selection> {
         let (arm, codec) = self.select_arm();
         let t0 = Instant::now();
-        let block = reg
-            .compress_into(codec, data, &mut self.scratch)?
-            .to_block();
+        let block = match reg.compress_into(codec, data, &mut self.scratch) {
+            Ok(block_ref) => block_ref.to_block(),
+            Err(e) => {
+                self.record_failure(arm);
+                return Err(e.into());
+            }
+        };
         let seconds = t0.elapsed().as_secs_f64();
         let reward = self.report_block(arm, &block);
         Ok(Selection {

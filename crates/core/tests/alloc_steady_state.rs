@@ -61,7 +61,7 @@ fn allocations_for(n_segments: usize) -> u64 {
         ..Default::default()
     };
     let before = ALLOCATIONS.load(Ordering::Relaxed);
-    let report = run_pipeline(&mut source, n_segments, &config);
+    let report = run_pipeline(&mut source, n_segments, &config).expect("pipeline");
     let after = ALLOCATIONS.load(Ordering::Relaxed);
     assert_eq!(report.segments as usize, n_segments);
     assert!(report.bytes_out > 0);

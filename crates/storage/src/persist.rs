@@ -11,19 +11,23 @@
 //!   kind 0 (raw):        n: u32, then n × f64
 //!   kind 1 (compressed): codec-name len: u8 + bytes | n_points: u32
 //!                        | payload len: u32 + bytes
+//!   version ≥ 2 only:    crc32c: u32 over the record bytes above
 //! ```
 //!
 //! Codec identifiers are stored by *name* so the file format survives enum
-//! reordering across versions.
+//! reordering across versions. Version 2 appends a CRC-32C to every record
+//! so on-disk bit rot is detected at load time; version-1 files (no
+//! checksums) remain readable.
 
 use crate::segment::{Segment, SegmentData, SegmentId};
 use crate::store::SegmentStore;
+use adaedge_codecs::crc32c::{crc32c, crc32c_append};
 use adaedge_codecs::{CodecId, CompressedBlock};
 use std::io::{self, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"AESG";
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
 
 /// Errors from the persistence layer.
 #[derive(Debug)]
@@ -34,6 +38,8 @@ pub enum PersistError {
     BadHeader,
     /// Structurally invalid segment record.
     Corrupt(&'static str),
+    /// A record's bytes no longer match its stored CRC-32C (bit rot).
+    ChecksumMismatch,
 }
 
 impl std::fmt::Display for PersistError {
@@ -42,6 +48,9 @@ impl std::fmt::Display for PersistError {
             PersistError::Io(e) => write!(f, "io error: {e}"),
             PersistError::BadHeader => write!(f, "bad segment-file header"),
             PersistError::Corrupt(what) => write!(f, "corrupt segment file: {what}"),
+            PersistError::ChecksumMismatch => {
+                write!(f, "segment record failed checksum verification")
+            }
         }
     }
 }
@@ -76,6 +85,31 @@ fn write_segment<W: Write>(w: &mut W, seg: &Segment) -> Result<(), PersistError>
         }
     }
     Ok(())
+}
+
+/// `Read` adapter that folds every byte it hands out into a running
+/// CRC-32C, so v2 records are verified without buffering them.
+struct CrcReader<R> {
+    inner: R,
+    crc: u32,
+}
+
+impl<R: Read> CrcReader<R> {
+    fn new(inner: R) -> Self {
+        Self { inner, crc: 0 }
+    }
+
+    fn sum(&self) -> u32 {
+        self.crc
+    }
+}
+
+impl<R: Read> Read for CrcReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.crc = crc32c_append(self.crc, &buf[..n]);
+        Ok(n)
+    }
 }
 
 fn read_exact_vec<R: Read>(r: &mut R, n: usize) -> Result<Vec<u8>, PersistError> {
@@ -142,30 +176,47 @@ fn read_segment<R: Read>(r: &mut R) -> Result<Segment, PersistError> {
     }
 }
 
-/// Write segments to `path`, replacing any existing file.
-pub fn save_segments<'a>(
+fn save_segments_versioned<'a>(
     path: &Path,
     segments: impl ExactSizeIterator<Item = &'a Segment>,
+    version: u16,
 ) -> Result<(), PersistError> {
     let mut w = io::BufWriter::new(std::fs::File::create(path)?);
     w.write_all(MAGIC)?;
-    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&version.to_le_bytes())?;
     w.write_all(&(segments.len() as u64).to_le_bytes())?;
+    let mut record = Vec::new();
     for seg in segments {
-        write_segment(&mut w, seg)?;
+        record.clear();
+        write_segment(&mut record, seg)?;
+        w.write_all(&record)?;
+        if version >= 2 {
+            w.write_all(&crc32c(&record).to_le_bytes())?;
+        }
     }
     w.flush()?;
     Ok(())
 }
 
-/// Read every segment from `path`.
+/// Write segments to `path` in the current (checksummed) format,
+/// replacing any existing file.
+pub fn save_segments<'a>(
+    path: &Path,
+    segments: impl ExactSizeIterator<Item = &'a Segment>,
+) -> Result<(), PersistError> {
+    save_segments_versioned(path, segments, VERSION)
+}
+
+/// Read every segment from `path`. Accepts both the current checksummed
+/// format (version 2) and legacy version-1 files without per-record CRCs.
 pub fn load_segments(path: &Path) -> Result<Vec<Segment>, PersistError> {
     let mut r = io::BufReader::new(std::fs::File::open(path)?);
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     let mut version = [0u8; 2];
     r.read_exact(&mut version)?;
-    if &magic != MAGIC || u16::from_le_bytes(version) != VERSION {
+    let version = u16::from_le_bytes(version);
+    if &magic != MAGIC || !(1..=VERSION).contains(&version) {
         return Err(PersistError::BadHeader);
     }
     let count = read_u64(&mut r)? as usize;
@@ -174,7 +225,17 @@ pub fn load_segments(path: &Path) -> Result<Vec<Segment>, PersistError> {
     }
     let mut out = Vec::with_capacity(count.min(1 << 20));
     for _ in 0..count {
-        out.push(read_segment(&mut r)?);
+        if version >= 2 {
+            let mut cr = CrcReader::new(&mut r);
+            let seg = read_segment(&mut cr)?;
+            let computed = cr.sum();
+            if read_u32(&mut r)? != computed {
+                return Err(PersistError::ChecksumMismatch);
+            }
+            out.push(seg);
+        } else {
+            out.push(read_segment(&mut r)?);
+        }
     }
     Ok(out)
 }
@@ -286,6 +347,52 @@ mod tests {
         assert!(matches!(
             SegmentStore::load_from(&path),
             Err(PersistError::Corrupt(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v2_payload_bitflip_detected_at_load() {
+        let store = sample_store();
+        let path = tmp("bitflip");
+        store.save_to(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a bit inside the Paa block's payload (a run of 0x07 bytes):
+        // structurally still a valid record, so only the CRC can catch it.
+        let pos = bytes.windows(10).position(|w| w == [7u8; 10]).unwrap();
+        bytes[pos + 3] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            SegmentStore::load_from(&path),
+            Err(PersistError::ChecksumMismatch)
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v1_files_without_checksums_still_load() {
+        let store = sample_store();
+        let path = tmp("v1compat");
+        let ids = store.ids();
+        let segments: Vec<&Segment> = ids.iter().filter_map(|&id| store.peek(id)).collect();
+        save_segments_versioned(&path, segments.into_iter(), 1).unwrap();
+        let loaded = SegmentStore::load_from(&path).unwrap();
+        assert_eq!(loaded.len(), store.len());
+        assert_eq!(loaded.used_bytes(), store.used_bytes());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let store = sample_store();
+        let path = tmp("future");
+        store.save_to(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4] = 99; // version field follows the 4-byte magic
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            SegmentStore::load_from(&path),
+            Err(PersistError::BadHeader)
         ));
         std::fs::remove_file(&path).ok();
     }

@@ -18,6 +18,9 @@ pub enum StoreError {
         /// Bytes actually available under the budget.
         available: usize,
     },
+    /// A stored block no longer matches the CRC-32C recorded when it was
+    /// written (in-memory bit rot, or a buggy writer scribbled on it).
+    ChecksumMismatch(SegmentId),
 }
 
 impl std::fmt::Display for StoreError {
@@ -29,6 +32,9 @@ impl std::fmt::Display for StoreError {
                     f,
                     "budget exceeded: needed {needed} B, available {available} B"
                 )
+            }
+            StoreError::ChecksumMismatch(id) => {
+                write!(f, "{id} failed checksum verification")
             }
         }
     }
@@ -49,6 +55,13 @@ pub struct SegmentStore {
     budget_bytes: Option<usize>,
     next_id: u64,
     clock: u64,
+    /// CRC-32C per compressed segment, recorded at write time. Only
+    /// populated when verification is enabled.
+    checksums: HashMap<SegmentId, u32>,
+    verify_checksums: bool,
+    /// Verification failures observed by reads (atomic so `peek(&self)`
+    /// can count them too).
+    checksum_failures: std::sync::atomic::AtomicU64,
 }
 
 impl std::fmt::Debug for SegmentStore {
@@ -82,6 +95,78 @@ impl SegmentStore {
             budget_bytes,
             next_id: 0,
             clock: 0,
+            checksums: HashMap::new(),
+            verify_checksums: false,
+            checksum_failures: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Enable CRC-32C verification: every compressed block is checksummed
+    /// when written and re-verified on [`SegmentStore::peek`] /
+    /// [`SegmentStore::get`], so bit rot is caught before a corrupted
+    /// payload reaches a decoder. Off by default (reads stay
+    /// byte-identical in cost to the unverified store).
+    pub fn with_checksum_verification(mut self) -> Self {
+        self.verify_checksums = true;
+        self
+    }
+
+    /// Whether checksum verification is enabled.
+    pub fn verifies_checksums(&self) -> bool {
+        self.verify_checksums
+    }
+
+    /// How many reads failed checksum verification so far.
+    pub fn checksum_failures(&self) -> u64 {
+        self.checksum_failures
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn record_checksum(&mut self, id: SegmentId, seg_checksum: Option<u32>) {
+        if !self.verify_checksums {
+            return;
+        }
+        match seg_checksum {
+            Some(crc) => {
+                self.checksums.insert(id, crc);
+            }
+            None => {
+                self.checksums.remove(&id);
+            }
+        }
+    }
+
+    /// `true` when the segment's current bytes still match its recorded
+    /// checksum (trivially true with verification off, for raw segments,
+    /// and for missing segments — those are reported by the caller's
+    /// `None`/`NotFound` path instead).
+    fn checksum_ok(&self, id: SegmentId) -> bool {
+        if !self.verify_checksums {
+            return true;
+        }
+        let (Some(seg), Some(&expected)) = (self.segments.get(&id), self.checksums.get(&id)) else {
+            return true;
+        };
+        match seg.block() {
+            Some(block) if block.checksum() != expected => {
+                self.checksum_failures
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                false
+            }
+            _ => true,
+        }
+    }
+
+    /// Explicitly verify one segment against its recorded checksum.
+    pub fn verify(&self, id: SegmentId) -> Result<(), StoreError> {
+        if self.segments.contains_key(&id) {
+            if self.checksum_ok(id) {
+                Ok(())
+            } else {
+                Err(StoreError::ChecksumMismatch(id))
+            }
+        } else {
+            Err(StoreError::NotFound(id))
         }
     }
 
@@ -119,22 +204,33 @@ impl SegmentStore {
         let id = SegmentId(self.next_id);
         self.next_id += 1;
         self.clock += 1;
+        let crc = self.verify_checksums.then(|| block.checksum());
         self.segments
             .insert(id, Segment::compressed(id, self.clock, block));
         self.used_bytes += bytes;
+        self.record_checksum(id, crc);
         self.policy.on_insert(id);
         Ok(id)
     }
 
     /// Peek a segment without touching the policy (internal reads, e.g. by
-    /// the recoding thread).
+    /// the recoding thread). With verification enabled, a segment whose
+    /// bytes fail their checksum reads as `None` (and is counted in
+    /// [`SegmentStore::checksum_failures`]) so it never reaches a decoder.
     pub fn peek(&self, id: SegmentId) -> Option<&Segment> {
+        if !self.checksum_ok(id) {
+            return None;
+        }
         self.segments.get(&id)
     }
 
     /// Read a segment on behalf of a query: records the access so the
-    /// policy protects it (GET).
+    /// policy protects it (GET). Checksum-verified like
+    /// [`SegmentStore::peek`].
     pub fn get(&mut self, id: SegmentId) -> Option<&Segment> {
+        if !self.checksum_ok(id) {
+            return None;
+        }
         if self.segments.contains_key(&id) {
             self.policy.on_access(id);
         }
@@ -159,8 +255,10 @@ impl SegmentStore {
                 }
             }
         }
+        let crc = self.verify_checksums.then(|| block.checksum());
         seg.data = SegmentData::Compressed(block);
         self.used_bytes = self.used_bytes - old_bytes + new_bytes;
+        self.record_checksum(id, crc);
         self.policy.on_recode(id);
         Ok(())
     }
@@ -169,6 +267,7 @@ impl SegmentStore {
     pub fn remove(&mut self, id: SegmentId) -> Result<Segment, StoreError> {
         let seg = self.segments.remove(&id).ok_or(StoreError::NotFound(id))?;
         self.used_bytes -= seg.size_bytes();
+        self.checksums.remove(&id);
         self.policy.on_remove(id);
         Ok(seg)
     }
@@ -313,6 +412,54 @@ mod tests {
         // Shrinking always works.
         store.replace(a, block(10, 100)).unwrap();
         assert_eq!(store.used_bytes(), 100);
+    }
+
+    #[test]
+    fn checksum_verification_catches_bit_rot() {
+        let mut store = SegmentStore::unbounded().with_checksum_verification();
+        assert!(store.verifies_checksums());
+        let id = store.put_compressed(block(10, 50)).unwrap();
+        assert_eq!(store.verify(id), Ok(()));
+        assert!(store.peek(id).is_some());
+        // Flip one payload bit behind the store's back (in-memory bit rot).
+        if let SegmentData::Compressed(b) = &mut store.segments.get_mut(&id).unwrap().data {
+            b.payload[7] ^= 0x10;
+        }
+        assert_eq!(store.verify(id), Err(StoreError::ChecksumMismatch(id)));
+        assert!(store.peek(id).is_none(), "rotted block must not be served");
+        assert!(store.get(id).is_none());
+        assert!(store.checksum_failures() >= 3);
+        assert_eq!(
+            store.verify(SegmentId(99)),
+            Err(StoreError::NotFound(SegmentId(99)))
+        );
+    }
+
+    #[test]
+    fn replace_refreshes_checksum_and_raw_is_exempt() {
+        let mut store = SegmentStore::unbounded().with_checksum_verification();
+        let id = store.put_compressed(block(10, 50)).unwrap();
+        store.replace(id, block(10, 20)).unwrap();
+        assert_eq!(store.verify(id), Ok(()));
+        let raw = store.put_raw(vec![1.0; 16]).unwrap();
+        assert_eq!(store.verify(raw), Ok(()));
+        store.remove(id).unwrap();
+        assert!(store.checksums.is_empty() || !store.checksums.contains_key(&id));
+    }
+
+    #[test]
+    fn verification_is_off_by_default() {
+        let mut store = SegmentStore::unbounded();
+        assert!(!store.verifies_checksums());
+        let id = store.put_compressed(block(10, 50)).unwrap();
+        if let SegmentData::Compressed(b) = &mut store.segments.get_mut(&id).unwrap().data {
+            b.payload[0] ^= 0xFF;
+        }
+        // No bookkeeping, no rejection, no counters.
+        assert_eq!(store.verify(id), Ok(()));
+        assert!(store.peek(id).is_some());
+        assert_eq!(store.checksum_failures(), 0);
+        assert!(store.checksums.is_empty());
     }
 
     #[test]

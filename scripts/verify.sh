@@ -19,6 +19,9 @@ cargo clippy --workspace -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> decode-fuzz smoke (fixed seeds)"
+cargo test --release -q -p adaedge-codecs --test decode_fuzz
+
 echo "==> engine throughput smoke (--quick)"
 cargo run --release -q -p adaedge-bench --bin engine_throughput -- --quick
 
