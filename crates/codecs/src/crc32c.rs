@@ -1,10 +1,15 @@
 //! CRC-32C (Castagnoli) checksums for block framing.
 //!
-//! Software table-driven implementation of the iSCSI/ext4 polynomial
-//! (reflected 0x82F63B78). The storage layer uses it to detect payload
-//! corruption on store reads and in the v2 persist format; the engine's
-//! hot compression path never touches it, so a simple byte-at-a-time
-//! kernel is plenty.
+//! Software implementation of the iSCSI/ext4 polynomial (reflected
+//! 0x82F63B78). The storage layer uses it to detect payload corruption on
+//! store reads and in the v2 persist format, and the checksum now sits on
+//! the segment framing path, so the default kernel is slicing-by-8: eight
+//! input bytes are folded per iteration through eight precomputed tables,
+//! turning the classic one-table byte loop's serial dependency chain into
+//! eight independent lookups per load. [`crc32c_scalar_append`] keeps the
+//! table-driven byte-at-a-time kernel as the reference implementation; the
+//! two are equivalence-tested here and property-tested in
+//! `tests/kernel_equivalence.rs`.
 
 const POLY: u32 = 0x82F6_3B78;
 
@@ -28,7 +33,28 @@ const fn make_table() -> [u32; 256] {
     table
 }
 
-static TABLE: [u32; 256] = make_table();
+/// `TABLES[k][b]` is the CRC contribution of byte `b` positioned `k` bytes
+/// before the end of an 8-byte group: `TABLES[0]` is the classic table and
+/// `TABLES[k+1][b] = TABLES[0][TABLES[k][b] & 0xFF] ^ (TABLES[k][b] >> 8)`
+/// (one extra zero byte folded through).
+const fn make_tables() -> [[u32; 256]; 8] {
+    let t0 = make_table();
+    let mut tables = [[0u32; 256]; 8];
+    tables[0] = t0;
+    let mut k = 1;
+    while k < 8 {
+        let mut b = 0;
+        while b < 256 {
+            let prev = tables[k - 1][b];
+            tables[k][b] = t0[(prev & 0xFF) as usize] ^ (prev >> 8);
+            b += 1;
+        }
+        k += 1;
+    }
+    tables
+}
+
+static TABLES: [[u32; 256]; 8] = make_tables();
 
 /// CRC-32C of `bytes` (the standard check value: `crc32c(b"123456789")`
 /// is `0xE306_9283`).
@@ -38,10 +64,42 @@ pub fn crc32c(bytes: &[u8]) -> u32 {
 
 /// Extend a previously computed CRC-32C with more bytes, as if the two
 /// byte runs had been hashed in one call. Start from `0`.
+///
+/// Slicing-by-8 kernel: each iteration XORs the running CRC into the low
+/// half of an unaligned little-endian `u64` load and folds all eight bytes
+/// through the eight tables at once.
 pub fn crc32c_append(crc: u32, bytes: &[u8]) -> u32 {
     let mut c = !crc;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let w = u64::from_le_bytes(chunk.try_into().expect("chunk of 8")) ^ c as u64;
+        c = TABLES[7][(w & 0xFF) as usize]
+            ^ TABLES[6][((w >> 8) & 0xFF) as usize]
+            ^ TABLES[5][((w >> 16) & 0xFF) as usize]
+            ^ TABLES[4][((w >> 24) & 0xFF) as usize]
+            ^ TABLES[3][((w >> 32) & 0xFF) as usize]
+            ^ TABLES[2][((w >> 40) & 0xFF) as usize]
+            ^ TABLES[1][((w >> 48) & 0xFF) as usize]
+            ^ TABLES[0][(w >> 56) as usize];
+    }
+    for &b in chunks.remainder() {
+        c = TABLES[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Reference byte-at-a-time kernel ([`crc32c`] semantics). Kept for
+/// equivalence tests and the `kernels` benchmark baseline; not used on any
+/// hot path.
+pub fn crc32c_scalar(bytes: &[u8]) -> u32 {
+    crc32c_scalar_append(0, bytes)
+}
+
+/// Reference byte-at-a-time kernel ([`crc32c_append`] semantics).
+pub fn crc32c_scalar_append(crc: u32, bytes: &[u8]) -> u32 {
+    let mut c = !crc;
     for &b in bytes {
-        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        c = TABLES[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
     !c
 }
@@ -60,10 +118,41 @@ mod tests {
     }
 
     #[test]
+    fn scalar_known_vectors() {
+        assert_eq!(crc32c_scalar(b""), 0);
+        assert_eq!(crc32c_scalar(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c_scalar(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c_scalar(&[0xFFu8; 32]), 0x62A8_AB43);
+    }
+
+    #[test]
+    fn sliced_matches_scalar_all_lengths() {
+        // Every length 0..64 crosses a different chunk/remainder split.
+        let data: Vec<u8> = (0..64u32)
+            .map(|i| (i.wrapping_mul(151) >> 2) as u8)
+            .collect();
+        for len in 0..=data.len() {
+            assert_eq!(
+                crc32c(&data[..len]),
+                crc32c_scalar(&data[..len]),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
     fn append_composes() {
         let whole = crc32c(b"hello, world");
         let split = crc32c_append(crc32c(b"hello,"), b" world");
         assert_eq!(whole, split);
+        // Composition also holds across a mid-word split and between kernels.
+        let data = b"0123456789abcdef0123";
+        for cut in 0..data.len() {
+            let sliced = crc32c_append(crc32c(&data[..cut]), &data[cut..]);
+            let scalar = crc32c_scalar_append(crc32c_scalar(&data[..cut]), &data[cut..]);
+            assert_eq!(sliced, crc32c(data), "cut {cut}");
+            assert_eq!(sliced, scalar, "cut {cut}");
+        }
     }
 
     #[test]

@@ -162,10 +162,34 @@ pub fn dft(input: &[Complex]) -> Vec<Complex> {
 
 /// Inverse DFT with 1/n normalization.
 pub fn idft(input: &[Complex]) -> Vec<Complex> {
-    let n = input.len();
-    let conj: Vec<Complex> = input.iter().map(|c| c.conj()).collect();
-    let fwd = dft(&conj);
-    fwd.iter().map(|c| c.conj().scale(1.0 / n as f64)).collect()
+    let mut buf = input.to_vec();
+    idft_inplace(&mut buf);
+    buf
+}
+
+/// [`idft`] in place: conjugate, forward-transform, conjugate-and-scale,
+/// all within `buf`. Power-of-two lengths run entirely in the caller's
+/// buffer (zero temporaries, vs the three per-call vectors the allocating
+/// form used to build); Bluestein lengths still allocate their convolution
+/// scratch internally but skip the conjugate/scale copies.
+pub fn idft_inplace(buf: &mut [Complex]) {
+    let n = buf.len();
+    if n == 0 {
+        return;
+    }
+    for c in buf.iter_mut() {
+        *c = c.conj();
+    }
+    if n.is_power_of_two() {
+        fft_pow2(buf);
+    } else {
+        let fwd = fft_bluestein(buf);
+        buf.copy_from_slice(&fwd);
+    }
+    let scale = 1.0 / n as f64;
+    for c in buf.iter_mut() {
+        *c = c.conj().scale(scale);
+    }
 }
 
 /// FFT codec. Stateless.
@@ -228,7 +252,10 @@ impl Codec for Fft {
             spectrum[bin] = Complex::new(re, im);
             spectrum[n - bin] = Complex::new(re, -im);
         }
-        Ok(idft(&spectrum).into_iter().map(|c| c.re).collect())
+        // In-place inverse transform: the spectrum buffer becomes the
+        // time-domain signal, so decode costs one allocation, not four.
+        idft_inplace(&mut spectrum);
+        Ok(spectrum.into_iter().map(|c| c.re).collect())
     }
 }
 
@@ -327,6 +354,32 @@ mod tests {
             let back = idft(&dft(&input));
             for (a, b) in input.iter().zip(&back) {
                 assert!((a.re - b.re).abs() < 1e-8 && (a.im - b.im).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn idft_inplace_matches_allocating_form() {
+        // n=0 (no reference: dft underflows there) is a no-op by the guard.
+        idft_inplace(&mut []);
+        for n in [1usize, 2, 3, 8, 12, 64, 100, 127] {
+            let input: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+                .collect();
+            // Reference: the pre-change three-vector formulation.
+            let conj: Vec<Complex> = input.iter().map(|c| c.conj()).collect();
+            let fwd = dft(&conj);
+            let reference: Vec<Complex> = fwd
+                .iter()
+                .map(|c| c.conj().scale(1.0 / (n.max(1)) as f64))
+                .collect();
+            let mut buf = input.clone();
+            idft_inplace(&mut buf);
+            for (a, b) in buf.iter().zip(&reference) {
+                assert!(
+                    (a.re - b.re).abs() < 1e-12 && (a.im - b.im).abs() < 1e-12,
+                    "n={n}: {a:?} vs {b:?}"
+                );
             }
         }
     }

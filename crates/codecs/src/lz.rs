@@ -106,12 +106,17 @@ fn hash3(data: &[u8], i: usize) -> usize {
 }
 
 /// Length of the common prefix of `data[a..]` and `data[b..]`, capped at
-/// `max`. Compares a word at a time; the first differing byte is located
-/// with a trailing-zeros count on the XOR of the mismatching words.
+/// `max` (the LZ match-extension kernel). Compares 8 bytes per iteration
+/// via unaligned little-endian `u64` loads; the first differing byte is
+/// located with a trailing-zeros count on the XOR of the mismatching
+/// words. `max` must not run either cursor past `data.len()`.
+///
+/// Equivalence with [`match_len_scalar`] is pinned by unit tests here and
+/// property tests in `tests/kernel_equivalence.rs`.
 // Hot path over trusted input: `max` caps both cursors at `data.len()`.
 #[allow(clippy::indexing_slicing)]
 #[inline]
-fn match_len(data: &[u8], a: usize, b: usize, max: usize) -> usize {
+pub fn match_len(data: &[u8], a: usize, b: usize, max: usize) -> usize {
     let mut len = 0;
     while len + 8 <= max {
         let wa = u64::from_le_bytes(data[a + len..a + len + 8].try_into().unwrap());
@@ -126,6 +131,44 @@ fn match_len(data: &[u8], a: usize, b: usize, max: usize) -> usize {
         len += 1;
     }
     len
+}
+
+/// Reference byte-at-a-time match extension ([`match_len`] semantics).
+/// Kept for equivalence tests and the `kernels` benchmark baseline; not
+/// used on any hot path.
+// Reference kernel over trusted input: same bounds contract as `match_len`.
+#[allow(clippy::indexing_slicing)]
+#[inline]
+pub fn match_len_scalar(data: &[u8], a: usize, b: usize, max: usize) -> usize {
+    let mut len = 0;
+    while len < max && data[a + len] == data[b + len] {
+        len += 1;
+    }
+    len
+}
+
+/// Append `len` bytes starting `dist` back from the end of `out` (the LZ
+/// match-copy kernel). The caller must have validated `1 <= dist <=
+/// out.len()`. Non-overlapping copies (`dist >= len`) are one bulk
+/// `extend_from_within` (a memcpy); overlapping copies double the
+/// available source region per round, so a length-`len` run costs
+/// O(log len) memcpys instead of `len` byte pushes. Byte-identical to the
+/// naive loop: each round only copies bytes that already exist.
+#[inline]
+pub(crate) fn append_match(out: &mut Vec<u8>, dist: usize, len: usize) {
+    debug_assert!(dist >= 1 && dist <= out.len());
+    let start = out.len() - dist;
+    if dist >= len {
+        out.extend_from_within(start..start + len);
+        return;
+    }
+    let mut remaining = len;
+    while remaining > 0 {
+        let avail = out.len() - start;
+        let take = avail.min(remaining);
+        out.extend_from_within(start..start + take);
+        remaining -= take;
+    }
 }
 
 /// Reusable LZ77 state: the matcher's hash chains and the token buffer.
@@ -347,9 +390,6 @@ pub fn lz77_expand(tokens: &[Token], expected_len: usize) -> Result<Vec<u8>, &'s
 /// decoded prefix and every literal/copy is capped at `expected_len`, so a
 /// corrupt token stream can neither read out of bounds nor grow `out`
 /// beyond the declared size.
-// The only raw indexing is the match-copy read, guarded by the
-// `dist <= out.len()` check just above it.
-#[allow(clippy::indexing_slicing)]
 pub fn lz77_expand_into(
     tokens: &[Token],
     expected_len: usize,
@@ -374,12 +414,7 @@ pub fn lz77_expand_into(
                 if out.len() + len > expected_len {
                     return Err("match copy overruns output");
                 }
-                let start = out.len() - dist;
-                // Overlapping copies are legal (dist < len): copy byte-wise.
-                for k in 0..len {
-                    let b = out[start + k];
-                    out.push(b);
-                }
+                append_match(out, dist, len);
             }
         }
     }
@@ -458,6 +493,43 @@ mod tests {
             deep as f64 <= shallow as f64 * 1.10,
             "deep {deep} vs shallow {shallow}"
         );
+    }
+
+    #[test]
+    fn match_len_swar_matches_scalar() {
+        // Repeating pattern with mismatches planted at every offset within
+        // a word, so the trailing_zeros tie-break is exercised byte by byte.
+        let mut data: Vec<u8> = (0..256u32).map(|i| (i % 13) as u8).collect();
+        for flip in 0..24 {
+            data[128 + flip] ^= 0xA5;
+            for max in [0, 1, 5, 7, 8, 9, 15, 16, 17, 64, 120] {
+                assert_eq!(
+                    match_len(&data, 0, 128, max),
+                    match_len_scalar(&data, 0, 128, max),
+                    "flip {flip} max {max}"
+                );
+            }
+            data[128 + flip] ^= 0xA5;
+        }
+    }
+
+    #[test]
+    fn append_match_matches_byte_loop() {
+        // Every (dist, len) shape: non-overlap, exact, and deep overlap.
+        for dist in 1..=20usize {
+            for len in 0..=50usize {
+                let seed: Vec<u8> = (0..20).map(|i| (i * 7 + 3) as u8).collect();
+                let mut fast = seed.clone();
+                append_match(&mut fast, dist, len);
+                let mut slow = seed.clone();
+                let start = slow.len() - dist;
+                for k in 0..len {
+                    let b = slow[start + k];
+                    slow.push(b);
+                }
+                assert_eq!(fast, slow, "dist {dist} len {len}");
+            }
+        }
     }
 
     #[test]

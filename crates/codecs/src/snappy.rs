@@ -13,7 +13,7 @@
 
 use crate::block::{CodecId, CompressedBlock, CompressedBlockRef};
 use crate::error::{CodecError, Result};
-use crate::lz::{lz77_tokens_into, LzConfig, LzScratch, Token, MIN_MATCH};
+use crate::lz::{append_match, lz77_tokens_into, LzConfig, LzScratch, Token, MIN_MATCH};
 use crate::scratch::CodecScratch;
 use crate::traits::{Codec, CodecKind};
 use crate::util::{bytes_to_f64s_into, f64s_to_bytes_into};
@@ -127,11 +127,9 @@ pub fn snappy_decompress_bytes_into(
             if out.len() + len > expected_len {
                 return Err(CodecError::Corrupt("match copy overruns output"));
             }
-            let start = out.len() - dist;
-            for k in 0..len {
-                let b = out[start + k];
-                out.push(b);
-            }
+            // `dist`/`len` validated above; the word-at-a-time copy kernel
+            // handles overlap with doubling `extend_from_within` rounds.
+            append_match(out, dist, len);
         }
     }
     if out.len() != expected_len {

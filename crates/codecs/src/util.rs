@@ -20,11 +20,15 @@ pub fn f64s_to_bytes(data: &[f64]) -> Vec<u8> {
 }
 
 /// [`f64s_to_bytes`] into a reused buffer (cleared, capacity kept).
+///
+/// The buffer is sized up front and filled through fixed-size
+/// `copy_from_slice` stores, so the loop compiles to straight bulk copies
+/// instead of per-value `extend` growth checks.
 pub fn f64s_to_bytes_into(data: &[f64], out: &mut Vec<u8>) {
     out.clear();
-    out.reserve(data.len() * 8);
-    for v in data {
-        out.extend_from_slice(&v.to_le_bytes());
+    out.resize(data.len() * 8, 0);
+    for (dst, v) in out.chunks_exact_mut(8).zip(data) {
+        dst.copy_from_slice(&v.to_le_bytes());
     }
 }
 
@@ -36,17 +40,18 @@ pub fn bytes_to_f64s(bytes: &[u8]) -> Result<Vec<f64>> {
 }
 
 /// [`bytes_to_f64s`] into a reused buffer (cleared, capacity kept).
+///
+/// Mirror of [`f64s_to_bytes_into`]: pre-sized output, fixed-size loads,
+/// no per-value growth checks.
 pub fn bytes_to_f64s_into(bytes: &[u8], out: &mut Vec<f64>) -> Result<()> {
     if !bytes.len().is_multiple_of(8) {
         return Err(CodecError::Corrupt("byte length not a multiple of 8"));
     }
     out.clear();
-    out.reserve(bytes.len() / 8);
-    out.extend(
-        bytes
-            .chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8"))),
-    );
+    out.resize(bytes.len() / 8, 0.0);
+    for (dst, src) in out.iter_mut().zip(bytes.chunks_exact(8)) {
+        *dst = f64::from_le_bytes(src.try_into().expect("chunk of 8"));
+    }
     Ok(())
 }
 
@@ -129,11 +134,17 @@ pub fn dequantize(q: &[i64], precision: u8) -> Result<Vec<f64>> {
 }
 
 /// [`dequantize`] into a reused buffer (cleared, capacity kept).
+///
+/// Pre-sized output and a branch-free convert-and-divide loop the
+/// autovectorizer can lift (division keeps the exact rounding of the
+/// scalar reference; a reciprocal multiply would not be bit-identical).
 pub fn dequantize_into(q: &[i64], precision: u8, out: &mut Vec<f64>) -> Result<()> {
     let scale = pow10(precision)?;
     out.clear();
-    out.reserve(q.len());
-    out.extend(q.iter().map(|&x| x as f64 / scale));
+    out.resize(q.len(), 0.0);
+    for (dst, &x) in out.iter_mut().zip(q) {
+        *dst = x as f64 / scale;
+    }
     Ok(())
 }
 
@@ -146,8 +157,13 @@ pub fn delta_zigzag_into(q: &[i64], out: &mut Vec<u64>) {
     if q.len() < 2 {
         return;
     }
-    out.reserve(q.len() - 1);
-    out.extend(q.windows(2).map(|w| zigzag_encode(w[1].wrapping_sub(w[0]))));
+    // Pre-sized output plus a subtract/shift/xor loop over two offset
+    // slices: no window bookkeeping, no growth checks, fully liftable.
+    out.resize(q.len() - 1, 0);
+    let (prev, next) = (&q[..q.len() - 1], &q[1..]);
+    for ((dst, &a), &b) in out.iter_mut().zip(prev).zip(next) {
+        *dst = zigzag_encode(b.wrapping_sub(a));
+    }
 }
 
 /// Minimum and maximum of a non-empty quantized segment in one pass.

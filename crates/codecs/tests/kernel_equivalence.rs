@@ -1,0 +1,161 @@
+//! Property tests pinning every SWAR/fused hot-loop kernel to a naive
+//! scalar reference: slicing-by-8 CRC-32C vs the table-driven byte loop,
+//! word-at-a-time match extension vs byte comparison, and the fused
+//! quantize / dequantize / delta-zigzag / float-serialization loops vs
+//! per-element formulations written out here in the most obvious way.
+
+use adaedge_codecs::bitio::zigzag_encode;
+use adaedge_codecs::crc32c::{crc32c, crc32c_append, crc32c_scalar, crc32c_scalar_append};
+use adaedge_codecs::lz::{match_len, match_len_scalar};
+use adaedge_codecs::util::{
+    bytes_to_f64s, delta_zigzag_into, dequantize, f64s_to_bytes, pow10, quantize,
+};
+use proptest::prelude::*;
+
+/// Naive per-element quantization: the pre-optimization formulation.
+fn quantize_naive(data: &[f64], precision: u8) -> Option<Vec<i64>> {
+    let scale = pow10(precision).ok()?;
+    let mut out = Vec::with_capacity(data.len());
+    for &v in data {
+        if !v.is_finite() {
+            return None;
+        }
+        let x = v * scale;
+        if x.abs() >= 4.5e15 {
+            return None;
+        }
+        out.push(x.round() as i64);
+    }
+    Some(out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn sliced_crc_matches_scalar_at_every_length_and_offset(
+        bytes in prop::collection::vec(any::<u8>(), 0..600),
+        offset in 0usize..32,
+    ) {
+        // Sub-slicing at a random offset exercises every alignment of the
+        // unaligned 8-byte loads.
+        let s = &bytes[offset.min(bytes.len())..];
+        prop_assert_eq!(crc32c(s), crc32c_scalar(s));
+    }
+
+    #[test]
+    fn sliced_crc_composes_across_random_splits(
+        bytes in prop::collection::vec(any::<u8>(), 0..600),
+        split in any::<usize>(),
+        seed in any::<u32>(),
+    ) {
+        let mid = if bytes.is_empty() { 0 } else { split % bytes.len() };
+        let (head, tail) = bytes.split_at(mid);
+        // Streaming from an arbitrary prior state must agree between the
+        // kernels, and composing append over a split must equal one shot.
+        let a = crc32c_append(seed, head);
+        let b = crc32c_scalar_append(seed, head);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(crc32c_append(a, tail), crc32c_scalar_append(b, tail));
+        prop_assert_eq!(crc32c_append(crc32c_append(0, head), tail), crc32c(&bytes));
+    }
+
+    #[test]
+    fn swar_match_extension_matches_byte_loop(
+        mut data in prop::collection::vec(any::<u8>(), 2..512),
+        a_idx in any::<usize>(),
+        b_idx in any::<usize>(),
+        max_idx in any::<usize>(),
+        copy_back in any::<bool>(),
+    ) {
+        let len = data.len();
+        let (mut a, mut b) = (a_idx % len, b_idx % len);
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        if copy_back && a < b {
+            // Plant a genuine match so long extensions are exercised, not
+            // just immediate mismatches of random bytes.
+            let n = (len - b).min(b - a);
+            let (head, tail) = data.split_at_mut(b);
+            tail[..n].copy_from_slice(&head[a..a + n]);
+        }
+        let max = max_idx % (len - b + 1);
+        prop_assert_eq!(
+            match_len(&data, a, b, max),
+            match_len_scalar(&data, a, b, max)
+        );
+    }
+
+    #[test]
+    fn fused_quantize_matches_naive_reference(
+        data in prop::collection::vec(-1.0e8f64..1.0e8, 0..300),
+        precision in 0u8..=6,
+    ) {
+        prop_assert_eq!(quantize(&data, precision).ok(), quantize_naive(&data, precision));
+    }
+
+    #[test]
+    fn fused_quantize_rejects_what_the_naive_loop_rejects(
+        mut data in prop::collection::vec(any::<f64>(), 1..130),
+        poison in any::<usize>(),
+        kind in 0u8..3,
+    ) {
+        // Guarantee at least one rejecting value at a random position (the
+        // rest of the vector is arbitrary bit-pattern floats).
+        let i = poison % data.len();
+        data[i] = match kind {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            _ => 1.0e18,
+        };
+        prop_assert!(quantize(&data, 4).is_err());
+        prop_assert!(quantize_naive(&data, 4).is_none());
+    }
+
+    #[test]
+    fn fused_dequantize_matches_naive_division(
+        q in prop::collection::vec(-4_000_000_000_000i64..4_000_000_000_000, 0..300),
+        precision in 0u8..=6,
+    ) {
+        let scale = pow10(precision).unwrap();
+        let naive: Vec<f64> = q.iter().map(|&x| x as f64 / scale).collect();
+        let fused = dequantize(&q, precision).unwrap();
+        // Bit-exact, not approximately equal: the fused loop must keep the
+        // division (a reciprocal multiply would round differently).
+        prop_assert_eq!(fused.len(), naive.len());
+        for (f, n) in fused.iter().zip(&naive) {
+            prop_assert_eq!(f.to_bits(), n.to_bits());
+        }
+    }
+
+    #[test]
+    fn fused_delta_zigzag_matches_windows_loop(
+        q in prop::collection::vec(any::<i64>(), 0..300),
+    ) {
+        let naive: Vec<u64> = q
+            .windows(2)
+            .map(|w| zigzag_encode(w[1].wrapping_sub(w[0])))
+            .collect();
+        let mut fused = Vec::new();
+        delta_zigzag_into(&q, &mut fused);
+        prop_assert_eq!(fused, naive);
+    }
+
+    #[test]
+    fn bulk_float_serialization_matches_per_element(
+        data in prop::collection::vec(any::<f64>(), 0..200),
+    ) {
+        let mut naive = Vec::new();
+        for v in &data {
+            naive.extend_from_slice(&v.to_le_bytes());
+        }
+        let bulk = f64s_to_bytes(&data);
+        prop_assert_eq!(&bulk, &naive);
+        let back = bytes_to_f64s(&bulk).unwrap();
+        prop_assert_eq!(back.len(), data.len());
+        for (b, d) in back.iter().zip(&data) {
+            prop_assert_eq!(b.to_bits(), d.to_bits());
+        }
+    }
+}

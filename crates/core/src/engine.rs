@@ -7,9 +7,19 @@
 //! the selector lock, and report the reward back. A full buffer counts as
 //! a spill-to-disk event (the paper flushes to disk when the uncompressed
 //! buffer overflows).
+//!
+//! Segments move through the channels in batches of
+//! [`EngineConfig::batch_segments`] (K): the ingestion stage fills K
+//! recycled segment buffers per channel send, and a worker selects one arm,
+//! holds it sticky across the whole batch, accumulates the K rewards
+//! locally and reports them in a single
+//! [`LosslessSelector::report_batch`] call — one channel op and two lock
+//! acquisitions per *batch* instead of per segment. K = 1 reproduces the
+//! per-segment scheduling bit-for-bit (the bandit-exact mode the regret
+//! tests rely on).
 
 use crate::error::{AdaEdgeError, Result};
-use crate::selector::{LosslessSelector, SelectorConfig};
+use crate::selector::{ArmOutcome, LosslessSelector, SelectorConfig};
 use adaedge_codecs::{CodecId, CodecRegistry, CodecScratch};
 use adaedge_datasets::SegmentSource;
 use crossbeam::channel;
@@ -33,6 +43,12 @@ pub struct EngineConfig {
     pub selector: SelectorConfig,
     /// Dataset decimal precision.
     pub precision: u8,
+    /// Segments per scheduling batch (K). Workers pull K segments per
+    /// channel op, keep the selected arm sticky across the batch, and
+    /// report the K accumulated rewards under one selector lock. `1`
+    /// (the default) is the bandit-exact mode: selection, reward order and
+    /// channel traffic are identical to per-segment scheduling.
+    pub batch_segments: usize,
     /// Deterministic fault injection for containment tests: every compress
     /// call for this codec panics inside the workers (see
     /// [`CodecRegistry::inject_compress_panic`]). Production configurations
@@ -48,8 +64,41 @@ impl Default for EngineConfig {
             lossless_arms: CodecRegistry::lossless_candidates(),
             selector: SelectorConfig::default(),
             precision: 4,
+            batch_segments: 1,
             fault_injection: None,
         }
+    }
+}
+
+/// A batch of recycled segment buffers moving through the pipeline
+/// channels as one unit.
+type SegmentBatch = Vec<Vec<f64>>;
+
+/// Seed a recycle channel with `pool` batches of `k` segment buffers each.
+fn seed_recycle_pool(
+    recycle_tx: &channel::Sender<SegmentBatch>,
+    pool: usize,
+    k: usize,
+    segment_len: usize,
+) -> Result<()> {
+    for _ in 0..pool {
+        let batch: SegmentBatch = (0..k).map(|_| Vec::with_capacity(segment_len)).collect();
+        recycle_tx
+            .send(batch)
+            .map_err(|_| AdaEdgeError::WorkerFailed {
+                stage: "recycle pool seeding",
+            })?;
+    }
+    Ok(())
+}
+
+/// Refill a recycled batch with up to `remaining` fresh segments.
+/// Truncation below `k` only happens on the final partial batch, so the
+/// steady state never sheds buffers.
+fn fill_batch(source: &mut dyn SegmentSource, batch: &mut SegmentBatch, remaining: usize) {
+    batch.truncate(batch.len().min(remaining));
+    for seg in batch.iter_mut() {
+        source.next_segment_into(seg);
     }
 }
 
@@ -102,23 +151,21 @@ pub fn run_pipeline(
     ));
     let n_threads = config.n_compression_threads.max(1);
     let buffer_cap = config.buffer_segments.max(1);
-    let (tx, rx) = channel::bounded::<Vec<f64>>(buffer_cap);
-    // Segment-buffer recycling loop: workers return drained `Vec`s to the
+    let k = config.batch_segments.max(1);
+    // The channel is bounded in *batches*; `buffer_segments` keeps its
+    // meaning (segments of in-flight buffer) by dividing through K.
+    let batch_cap = buffer_cap.div_ceil(k);
+    let (tx, rx) = channel::bounded::<SegmentBatch>(batch_cap);
+    // Segment-buffer recycling loop: workers return drained batches to the
     // ingestion stage instead of dropping them, so steady-state ingest
     // reuses a fixed pool and performs zero heap allocations per segment.
-    // Pool sizing: one buffer per queue slot, one per in-flight worker, one
-    // in the producer's hand — by pigeonhole at least one buffer is always
+    // Pool sizing: one batch per queue slot, one per in-flight worker, one
+    // in the producer's hand — by pigeonhole at least one batch is always
     // in (or headed to) the recycle channel, so the producer never
     // deadlocks on `recv`.
-    let pool = buffer_cap + n_threads + 1;
-    let (recycle_tx, recycle_rx) = channel::bounded::<Vec<f64>>(pool);
-    for _ in 0..pool {
-        recycle_tx
-            .send(Vec::with_capacity(source.segment_len()))
-            .map_err(|_| AdaEdgeError::WorkerFailed {
-                stage: "recycle pool seeding",
-            })?;
-    }
+    let pool = batch_cap + n_threads + 1;
+    let (recycle_tx, recycle_rx) = channel::bounded::<SegmentBatch>(pool);
+    seed_recycle_pool(&recycle_tx, pool, k, source.segment_len())?;
     let bytes_out = AtomicU64::new(0);
     let spills = AtomicU64::new(0);
     let codec_failures = AtomicU64::new(0);
@@ -138,38 +185,49 @@ pub fn run_pipeline(
             workers.push(scope.spawn(move || {
                 let mut scratch = CodecScratch::new();
                 let mut local_counts: HashMap<CodecId, u64> = HashMap::new();
-                while let Ok(data) = rx.recv() {
-                    // Select under the lock, compress outside it, report back.
+                let mut outcomes: Vec<ArmOutcome> = Vec::with_capacity(k);
+                while let Ok(batch) = rx.recv() {
+                    // Select under the lock once per batch, compress the
+                    // whole batch outside it with the arm held sticky, then
+                    // report the accumulated outcomes under one lock.
                     let (arm, codec) = selector.lock().select_arm();
-                    let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        reg.compress_into(codec, &data, &mut scratch)
-                            .map(|b| (b.ratio(), b.compressed_bytes()))
-                    }));
-                    match outcome {
-                        Ok(Ok((ratio, bytes))) => {
-                            bytes_out.fetch_add(bytes as u64, Ordering::Relaxed);
-                            selector.lock().report_ratio(arm, ratio);
-                            *local_counts.entry(codec).or_insert(0) += 1;
-                        }
-                        // Codec error or caught panic: contain it, penalize
-                        // the arm, and degrade this segment to Raw so no
-                        // data is lost. (A panicked compress may have left
-                        // the arena mid-write; Raw rebuilds its output from
-                        // scratch, so the fallback is unaffected.)
-                        _ => {
-                            codec_failures.fetch_add(1, Ordering::Relaxed);
-                            selector.lock().record_failure(arm);
-                            if let Ok(block) = reg.compress_into(CodecId::Raw, &data, &mut scratch)
-                            {
-                                bytes_out
-                                    .fetch_add(block.compressed_bytes() as u64, Ordering::Relaxed);
-                                *local_counts.entry(CodecId::Raw).or_insert(0) += 1;
+                    outcomes.clear();
+                    for data in &batch {
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            reg.compress_into(codec, data, &mut scratch)
+                                .map(|b| (b.ratio(), b.compressed_bytes()))
+                        }));
+                        match outcome {
+                            Ok(Ok((ratio, bytes))) => {
+                                bytes_out.fetch_add(bytes as u64, Ordering::Relaxed);
+                                outcomes.push(ArmOutcome::Ratio(ratio));
+                                *local_counts.entry(codec).or_insert(0) += 1;
+                            }
+                            // Codec error or caught panic: contain it,
+                            // penalize the arm, and degrade this segment to
+                            // Raw so no data is lost. (A panicked compress
+                            // may have left the arena mid-write; Raw
+                            // rebuilds its output from scratch, so the
+                            // fallback is unaffected.)
+                            _ => {
+                                codec_failures.fetch_add(1, Ordering::Relaxed);
+                                outcomes.push(ArmOutcome::Failure);
+                                if let Ok(block) =
+                                    reg.compress_into(CodecId::Raw, data, &mut scratch)
+                                {
+                                    bytes_out.fetch_add(
+                                        block.compressed_bytes() as u64,
+                                        Ordering::Relaxed,
+                                    );
+                                    *local_counts.entry(CodecId::Raw).or_insert(0) += 1;
+                                }
                             }
                         }
                     }
-                    // Hand the drained buffer back to the ingestion stage
+                    selector.lock().report_batch(arm, &outcomes);
+                    // Hand the drained batch back to the ingestion stage
                     // (fails harmlessly once ingestion is done).
-                    let _ = recycle_tx.send(data);
+                    let _ = recycle_tx.send(batch);
                 }
                 local_counts
             }));
@@ -177,19 +235,22 @@ pub fn run_pipeline(
         drop(rx);
         drop(recycle_tx);
 
-        // Ingestion stage (this thread): refill a recycled buffer. A failed
+        // Ingestion stage (this thread): refill a recycled batch. A failed
         // `try_send` is the spill signal — it observes fullness and enqueues
-        // in one channel operation.
-        for _ in 0..n_segments {
-            let Ok(mut seg) = recycle_rx.recv() else {
+        // in one channel operation; every segment in the delayed batch
+        // counts as spilled.
+        let mut remaining = n_segments;
+        while remaining > 0 {
+            let Ok(mut batch) = recycle_rx.recv() else {
                 break;
             };
-            source.next_segment_into(&mut seg);
-            match tx.try_send(seg) {
+            fill_batch(source, &mut batch, remaining);
+            remaining -= batch.len();
+            match tx.try_send(batch) {
                 Ok(()) => {}
-                Err(channel::TrySendError::Full(seg)) => {
-                    spills.fetch_add(1, Ordering::Relaxed);
-                    if tx.send(seg).is_err() {
+                Err(channel::TrySendError::Full(batch)) => {
+                    spills.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    if tx.send(batch).is_err() {
                         break;
                     }
                 }
@@ -259,6 +320,10 @@ pub struct OfflineEngineConfig {
     pub target: crate::targets::OptimizationTarget,
     /// Dataset decimal precision.
     pub precision: u8,
+    /// Segments per scheduling batch (K), as in
+    /// [`EngineConfig::batch_segments`]. Also bounds how many recode
+    /// victims the recoding thread drains per selector-lock acquisition.
+    pub batch_segments: usize,
 }
 
 impl OfflineEngineConfig {
@@ -274,6 +339,7 @@ impl OfflineEngineConfig {
             selector: SelectorConfig::offline(),
             target,
             precision: 4,
+            batch_segments: 1,
         }
     }
 }
@@ -341,17 +407,13 @@ pub fn run_offline_pipeline(
     let store_cv = Condvar::new();
     let recodes = AtomicU64::new(0);
     let drops = AtomicU64::new(0);
-    let (tx, rx) = channel::bounded::<Vec<f64>>(buffer_cap);
-    // Same segment-buffer recycling loop as `run_pipeline`.
-    let pool = buffer_cap + n_threads + 1;
-    let (recycle_tx, recycle_rx) = channel::bounded::<Vec<f64>>(pool);
-    for _ in 0..pool {
-        recycle_tx
-            .send(Vec::with_capacity(source.segment_len()))
-            .map_err(|_| AdaEdgeError::WorkerFailed {
-                stage: "recycle pool seeding",
-            })?;
-    }
+    let k = config.batch_segments.max(1);
+    let batch_cap = buffer_cap.div_ceil(k);
+    let (tx, rx) = channel::bounded::<SegmentBatch>(batch_cap);
+    // Same batched segment-buffer recycling loop as `run_pipeline`.
+    let pool = batch_cap + n_threads + 1;
+    let (recycle_tx, recycle_rx) = channel::bounded::<SegmentBatch>(pool);
+    seed_recycle_pool(&recycle_tx, pool, k, source.segment_len())?;
     let codec_failures = AtomicU64::new(0);
     let segment_points = source.segment_len() as u64;
     let threshold = config.recode_threshold;
@@ -360,6 +422,9 @@ pub fn run_offline_pipeline(
     let start = Instant::now();
     std::thread::scope(|scope| -> Result<()> {
         // Recoding thread: frees space whenever occupancy crosses θ·budget.
+        // Victims are drained in batches of up to K per pass: one store
+        // lock to snapshot them, one selector lock across all their
+        // recodes, one store lock to commit the winners.
         let recoder = {
             let store = &store;
             let lossy = &lossy;
@@ -379,8 +444,8 @@ pub fn run_offline_pipeline(
                         store_cv.wait_for(&mut guard, Duration::from_millis(50));
                     }
                 }
-                // Snapshot a victim under the lock; recode outside it.
-                let victim = {
+                // Snapshot up to K victims under one lock; recode outside.
+                let victims = {
                     let guard = store.lock();
                     let raw_bytes: usize = guard.iter().map(|s| s.n_points() * 8).sum();
                     let r_req = if raw_bytes == 0 {
@@ -388,52 +453,75 @@ pub fn run_offline_pipeline(
                     } else {
                         (threshold * budget as f64 / raw_bytes as f64).min(1.0)
                     };
-                    let mut pick = None;
+                    let mut picks = Vec::new();
+                    let mut fallback = None;
                     for id in guard.victim_order() {
+                        if picks.len() >= k {
+                            break;
+                        }
                         if let Some(seg) = guard.peek(id) {
                             if let Some(block) = seg.block() {
                                 if seg.ratio() > r_req {
-                                    pick = Some((id, block.clone(), seg.ratio() * 0.5));
-                                    break;
-                                }
-                                if pick.is_none() {
-                                    pick = Some((id, block.clone(), seg.ratio() * 0.5));
+                                    picks.push((id, block.clone(), seg.ratio() * 0.5));
+                                } else if fallback.is_none() {
+                                    fallback = Some((id, block.clone(), seg.ratio() * 0.5));
                                 }
                             }
                         }
                     }
-                    pick
+                    if picks.is_empty() {
+                        // No victim clears the required ratio: recode the
+                        // best-effort fallback alone, as the per-segment
+                        // scheduler did.
+                        picks.extend(fallback);
+                    }
+                    picks
                 };
-                let Some((id, block, target_ratio)) = victim else {
+                if victims.is_empty() {
                     // Nothing recodable yet; wait for the store to change.
                     let mut guard = store.lock();
                     store_cv.wait_for(&mut guard, Duration::from_millis(5));
                     continue;
+                }
+                // One selector-lock acquisition for the whole victim batch
+                // (each recode self-reports its rewards via report_batch).
+                let results: Vec<_> = {
+                    let mut sel = lossy.lock();
+                    victims
+                        .iter()
+                        .map(|(_, block, target_ratio)| sel.recode(reg, block, None, *target_ratio))
+                        .collect()
                 };
-                let old_bytes = block.compressed_bytes();
-                match lossy.lock().recode(reg, &block, None, target_ratio) {
-                    Ok(sel) if sel.block.compressed_bytes() < old_bytes => {
-                        let mut guard = store.lock();
+                let mut committed = false;
+                {
+                    let mut guard = store.lock();
+                    for ((id, block, _), result) in victims.iter().zip(results) {
+                        let old_bytes = block.compressed_bytes();
+                        let Ok(sel) = result else { continue };
+                        if sel.block.compressed_bytes() >= old_bytes {
+                            continue;
+                        }
                         // The segment may have been touched meanwhile; only
                         // commit if it still holds the block we recoded.
                         let unchanged = guard
-                            .peek(id)
+                            .peek(*id)
                             .and_then(|s| s.block())
                             .map(|b| b.compressed_bytes() == old_bytes)
                             .unwrap_or(false);
-                        if unchanged && guard.replace(id, sel.block).is_ok() {
+                        if unchanged && guard.replace(*id, sel.block).is_ok() {
                             recodes.fetch_add(1, Ordering::Relaxed);
-                            drop(guard);
-                            // Space was freed; wake any worker blocked on put.
-                            store_cv.notify_all();
+                            committed = true;
                         }
                     }
-                    _ => {
-                        // Recode made no progress on this victim; back off
-                        // briefly instead of spinning on it.
-                        let mut guard = store.lock();
-                        store_cv.wait_for(&mut guard, Duration::from_millis(1));
-                    }
+                }
+                if committed {
+                    // Space was freed; wake any worker blocked on put.
+                    store_cv.notify_all();
+                } else {
+                    // No victim made progress this pass; back off briefly
+                    // instead of spinning.
+                    let mut guard = store.lock();
+                    store_cv.wait_for(&mut guard, Duration::from_millis(1));
                 }
             })
         };
@@ -451,57 +539,69 @@ pub fn run_offline_pipeline(
             let codec_failures = &codec_failures;
             workers.push(scope.spawn(move || {
                 let mut scratch = CodecScratch::new();
-                while let Ok(data) = rx.recv() {
+                let mut outcomes: Vec<ArmOutcome> = Vec::with_capacity(k);
+                let mut blocks = Vec::with_capacity(k);
+                while let Ok(batch) = rx.recv() {
+                    // One selection per batch (arm held sticky), one
+                    // report_batch, then the store puts.
                     let (arm, codec) = lossless.lock().select_arm();
-                    // The store takes ownership, so the scratch-backed block
-                    // is materialized once inside the contained region.
-                    let compressed = catch_unwind(AssertUnwindSafe(|| {
-                        reg.compress_into(codec, &data, &mut scratch)
-                            .map(|b| (b.ratio(), b.to_block()))
-                    }));
-                    let block = match compressed {
-                        Ok(Ok((ratio, block))) => {
-                            lossless.lock().report_ratio(arm, ratio);
-                            block
-                        }
-                        // Codec error or caught panic: penalize the arm and
-                        // degrade the segment to Raw instead of losing it.
-                        _ => {
-                            codec_failures.fetch_add(1, Ordering::Relaxed);
-                            lossless.lock().record_failure(arm);
-                            match reg.compress_into(CodecId::Raw, &data, &mut scratch) {
-                                Ok(b) => b.to_block(),
-                                Err(_) => {
-                                    drops.fetch_add(1, Ordering::Relaxed);
-                                    let _ = recycle_tx.send(data);
-                                    continue;
+                    outcomes.clear();
+                    blocks.clear();
+                    for data in &batch {
+                        // The store takes ownership, so the scratch-backed
+                        // block is materialized once inside the contained
+                        // region.
+                        let compressed = catch_unwind(AssertUnwindSafe(|| {
+                            reg.compress_into(codec, data, &mut scratch)
+                                .map(|b| (b.ratio(), b.to_block()))
+                        }));
+                        match compressed {
+                            Ok(Ok((ratio, block))) => {
+                                outcomes.push(ArmOutcome::Ratio(ratio));
+                                blocks.push(block);
+                            }
+                            // Codec error or caught panic: penalize the arm
+                            // and degrade the segment to Raw instead of
+                            // losing it.
+                            _ => {
+                                codec_failures.fetch_add(1, Ordering::Relaxed);
+                                outcomes.push(ArmOutcome::Failure);
+                                match reg.compress_into(CodecId::Raw, data, &mut scratch) {
+                                    Ok(b) => blocks.push(b.to_block()),
+                                    Err(_) => {
+                                        drops.fetch_add(1, Ordering::Relaxed);
+                                    }
                                 }
                             }
                         }
-                    };
-                    let _ = recycle_tx.send(data);
-                    // Wait (bounded) for the recoder to clear space, sleeping
-                    // on the condvar between attempts instead of spinning.
-                    let mut stored = false;
-                    let deadline = Instant::now() + Duration::from_secs(2);
-                    {
-                        let mut guard = store.lock();
-                        loop {
-                            if guard.put_compressed(block.clone()).is_ok() {
-                                stored = true;
-                                break;
-                            }
-                            if Instant::now() >= deadline {
-                                break;
-                            }
-                            store_cv.wait_for(&mut guard, Duration::from_millis(10));
-                        }
                     }
-                    if stored {
-                        // The store grew; the recoder may now be over θ.
-                        store_cv.notify_all();
-                    } else {
-                        drops.fetch_add(1, Ordering::Relaxed);
+                    lossless.lock().report_batch(arm, &outcomes);
+                    let _ = recycle_tx.send(batch);
+                    for block in blocks.drain(..) {
+                        // Wait (bounded) for the recoder to clear space,
+                        // sleeping on the condvar between attempts instead
+                        // of spinning.
+                        let mut stored = false;
+                        let deadline = Instant::now() + Duration::from_secs(2);
+                        {
+                            let mut guard = store.lock();
+                            loop {
+                                if guard.put_compressed(block.clone()).is_ok() {
+                                    stored = true;
+                                    break;
+                                }
+                                if Instant::now() >= deadline {
+                                    break;
+                                }
+                                store_cv.wait_for(&mut guard, Duration::from_millis(10));
+                            }
+                        }
+                        if stored {
+                            // The store grew; the recoder may now be over θ.
+                            store_cv.notify_all();
+                        } else {
+                            drops.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                 }
             }));
@@ -509,12 +609,14 @@ pub fn run_offline_pipeline(
         drop(rx);
         drop(recycle_tx);
 
-        for _ in 0..n_segments {
-            let Ok(mut seg) = recycle_rx.recv() else {
+        let mut remaining = n_segments;
+        while remaining > 0 {
+            let Ok(mut batch) = recycle_rx.recv() else {
                 break;
             };
-            source.next_segment_into(&mut seg);
-            if tx.send(seg).is_err() {
+            fill_batch(source, &mut batch, remaining);
+            remaining -= batch.len();
+            if tx.send(batch).is_err() {
                 break;
             }
         }

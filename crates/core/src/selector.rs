@@ -127,6 +127,17 @@ pub struct Selection {
 /// may accumulate before [`LosslessSelector`] quarantines it.
 pub const QUARANTINE_AFTER: u32 = 3;
 
+/// One per-segment outcome a batched engine worker accumulates locally
+/// (outside the selector lock) and reports through
+/// [`LosslessSelector::report_batch`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArmOutcome {
+    /// Successful compression achieving this compressed/raw ratio.
+    Ratio(f64),
+    /// Codec error or caught panic (counts toward quarantine).
+    Failure,
+}
+
 /// MAB over lossless arms, rewarding small compressed sizes.
 pub struct LosslessSelector {
     arms: Vec<CodecId>,
@@ -271,6 +282,28 @@ impl LosslessSelector {
         let reward = (1.0 - ratio).clamp(0.0, 1.0);
         self.mab.update(arm, reward);
         reward
+    }
+
+    /// Report a batch of outcomes for `arm` in order, exactly as if each
+    /// had been fed through [`Self::report_ratio`] / [`Self::record_failure`]
+    /// individually — the estimates, pull counts, failure streaks and
+    /// quarantine state end up bit-identical to the sequential calls.
+    ///
+    /// This is the batched engine's reward path: a worker holds `arm`
+    /// sticky across K segments, accumulates outcomes locally, and pays one
+    /// lock acquisition here instead of one per segment. Returns the summed
+    /// reward credited to the arm.
+    pub fn report_batch(&mut self, arm: usize, outcomes: &[ArmOutcome]) -> f64 {
+        let mut total = 0.0;
+        for &outcome in outcomes {
+            match outcome {
+                ArmOutcome::Ratio(ratio) => total += self.report_ratio(arm, ratio),
+                ArmOutcome::Failure => {
+                    self.record_failure(arm);
+                }
+            }
+        }
+        total
     }
 
     /// Select an arm, compress, feed the size reward back.
@@ -541,6 +574,18 @@ impl BandedLossySelector {
         })
     }
 
+    /// Report a batch of `(arm, reward)` updates into the band owning
+    /// `ratio`, in order, exactly as K sequential `update` calls.
+    /// [`Self::recode`] accumulates its per-attempt scores locally and
+    /// flushes them through here, so a recode costs one reward-reporting
+    /// pass however many arms it probed; external drivers that score
+    /// attempts outside the selector lock can use it the same way.
+    pub fn report_batch(&mut self, ratio: f64, updates: &[(usize, f64)]) {
+        for &(arm, reward) in updates {
+            self.bands.update(ratio, arm, reward);
+        }
+    }
+
     /// Recode an existing block to a tighter ratio. Same-codec blocks use
     /// virtual decompression; otherwise the block is decoded once and
     /// re-compressed with the band's selected arm.
@@ -552,12 +597,33 @@ impl BandedLossySelector {
     /// then costs compute, not permanent accuracy — the paper frames
     /// exploration overhead as recoverable (§V-C), which a committed bad
     /// lossy block would not be.
+    ///
+    /// Per-attempt rewards are accumulated locally and flushed through
+    /// [`Self::report_batch`] on exit (identical MAB state: every deferred
+    /// update is either followed by an immediate return or belongs to an
+    /// arm the retry mask already excludes from later reads).
     pub fn recode(
         &mut self,
         reg: &CodecRegistry,
         block: &CompressedBlock,
         original_hint: Option<&[f64]>,
         ratio: f64,
+    ) -> Result<Selection> {
+        let mut updates: Vec<(usize, f64)> = Vec::new();
+        let result = self.recode_inner(reg, block, original_hint, ratio, &mut updates);
+        self.report_batch(ratio, &updates);
+        result
+    }
+
+    /// The recode retry loop, pushing `(arm, reward)` scores into
+    /// `updates` instead of touching the bands directly.
+    fn recode_inner(
+        &mut self,
+        reg: &CodecRegistry,
+        block: &CompressedBlock,
+        original_hint: Option<&[f64]>,
+        ratio: f64,
+        updates: &mut Vec<(usize, f64)>,
     ) -> Result<Selection> {
         /// Reward shortfall (vs the greedy estimate) beyond which an
         /// explored recode result is not committed.
@@ -601,12 +667,12 @@ impl BandedLossySelector {
                             }
                         };
                         let reward = self.evaluator.evaluate(reference, &self.buf, seconds);
-                        self.bands.update(ratio, $arm, reward);
+                        updates.push(($arm, reward));
                         Ok(Some((new_block, seconds, reward)))
                     }
                     Err(CodecError::RatioUnreachable { .. })
                     | Err(CodecError::RecodeUnsupported(_)) => {
-                        self.bands.update(ratio, $arm, 0.0);
+                        updates.push(($arm, 0.0));
                         Ok(None)
                     }
                     Err(e) => Err(AdaEdgeError::from(e)),
@@ -691,6 +757,69 @@ mod tests {
         }
         // Sprintz should win on smooth 4-digit data.
         assert_eq!(sel.greedy_arm(), CodecId::Sprintz);
+    }
+
+    #[test]
+    fn report_batch_is_bit_identical_to_sequential_reports() {
+        let config = SelectorConfig {
+            epsilon: 0.1,
+            seed: 11,
+            ..Default::default()
+        };
+        let arms = CodecRegistry::lossless_candidates();
+        let mut seq = LosslessSelector::new(arms.clone(), config);
+        let mut batched = LosslessSelector::new(arms, config);
+        // Mixed outcomes, including enough failures to trip quarantine on
+        // one arm, split across uneven batch sizes.
+        let outcomes = [
+            ArmOutcome::Ratio(0.4),
+            ArmOutcome::Failure,
+            ArmOutcome::Ratio(0.35),
+            ArmOutcome::Failure,
+            ArmOutcome::Failure,
+            ArmOutcome::Failure,
+            ArmOutcome::Ratio(0.9),
+        ];
+        for (i, chunk) in outcomes.chunks(3).enumerate() {
+            let arm = i % 2;
+            for &o in chunk {
+                match o {
+                    ArmOutcome::Ratio(r) => {
+                        seq.report_ratio(arm, r);
+                    }
+                    ArmOutcome::Failure => {
+                        seq.record_failure(arm);
+                    }
+                }
+            }
+            batched.report_batch(arm, chunk);
+        }
+        assert_eq!(seq.estimates(), batched.estimates());
+        assert_eq!(seq.pulls(), batched.pulls());
+        assert_eq!(seq.failure_totals(), batched.failure_totals());
+        assert_eq!(seq.quarantined_arms(), batched.quarantined_arms());
+        // Both selectors draw from identically-advanced RNGs afterwards.
+        assert_eq!(seq.select_arm(), batched.select_arm());
+    }
+
+    #[test]
+    fn banded_report_batch_matches_sequential_updates() {
+        let evaluator = || RewardEvaluator::new(OptimizationTarget::agg(AggKind::Sum), None, 0);
+        let config = SelectorConfig::offline();
+        let arms = CodecRegistry::lossy_candidates();
+        let mut seq = BandedLossySelector::new(arms.clone(), config, evaluator());
+        let mut batched = BandedLossySelector::new(arms, config, evaluator());
+        let updates = [(0usize, 0.8), (1, 0.3), (0, 0.55), (2, 0.0)];
+        for &(arm, reward) in &updates {
+            seq.bands.update(0.25, arm, reward);
+        }
+        batched.report_batch(0.25, &updates);
+        let mask = vec![true; seq.arms.len()];
+        assert_eq!(
+            seq.bands.greedy(0.25, Some(&mask)),
+            batched.bands.greedy(0.25, Some(&mask))
+        );
+        assert_eq!(seq.instantiated_bands(), batched.instantiated_bands());
     }
 
     #[test]

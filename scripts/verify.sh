@@ -22,6 +22,12 @@ cargo fmt --check
 echo "==> decode-fuzz smoke (fixed seeds)"
 cargo test --release -q -p adaedge-codecs --test decode_fuzz
 
+echo "==> kernel equivalence proptests (release)"
+cargo test --release -q -p adaedge-codecs --test kernel_equivalence
+
+echo "==> batched scheduling equivalence (K>1 engine smoke, release)"
+cargo test --release -q -p adaedge-core --test batch_equivalence
+
 echo "==> engine throughput smoke (--quick)"
 cargo run --release -q -p adaedge-bench --bin engine_throughput -- --quick
 
