@@ -76,6 +76,36 @@ impl Policy for EpsilonGreedy {
         }
     }
 
+    fn fold(&mut self, arm: usize, pulls: u64, reward_sum: f64) {
+        if pulls == 0 {
+            return;
+        }
+        let k = pulls as f64;
+        let n0 = self.n[arm];
+        self.n[arm] += pulls;
+        self.total += pulls;
+        match self.step {
+            StepSize::SampleAverage => {
+                // Exact: the sample average depends only on sum and count.
+                // An untouched arm's optimistic initial estimate is *not* a
+                // reward sum, so the first fold replaces it outright —
+                // matching the incremental rule, whose first update sets
+                // `q = r` regardless of the initial value.
+                self.q[arm] = if n0 == 0 {
+                    reward_sum / k
+                } else {
+                    (self.q[arm] * n0 as f64 + reward_sum) / (n0 as f64 + k)
+                };
+            }
+            StepSize::Constant(alpha) => {
+                // Closed form of k updates at the mean reward:
+                // Q' = (1-α)^k Q + (1 − (1-α)^k) r̄.
+                let keep = (1.0 - alpha).powf(k);
+                self.q[arm] = keep * self.q[arm] + (1.0 - keep) * (reward_sum / k);
+            }
+        }
+    }
+
     fn estimates(&self) -> &[f64] {
         &self.q
     }
@@ -172,6 +202,50 @@ mod tests {
         let fast = drive(StepSize::Constant(0.5));
         assert!(fast > 0.9, "constant step estimate {fast}");
         assert!(avg < 0.2, "sample average estimate {avg}");
+    }
+
+    #[test]
+    fn fold_matches_sequential_mean_updates_sample_average() {
+        // Folding (k pulls, sum S) must equal any sequence of k updates
+        // totalling S — sample averages are order-independent.
+        let mut seq = EpsilonGreedy::optimistic(2, 0.1, 1.0);
+        let mut folded = EpsilonGreedy::optimistic(2, 0.1, 1.0);
+        let rewards = [0.3, 0.9, 0.6, 0.0, 0.45];
+        for &r in &rewards {
+            seq.update(0, r);
+        }
+        folded.fold(0, rewards.len() as u64, rewards.iter().sum());
+        assert!((seq.estimates()[0] - folded.estimates()[0]).abs() < 1e-12);
+        assert_eq!(seq.pulls(), folded.pulls());
+        assert_eq!(seq.total_pulls(), folded.total_pulls());
+        // Untouched arm keeps its optimistic estimate in both.
+        assert_eq!(seq.estimates()[1], 1.0);
+        assert_eq!(folded.estimates()[1], 1.0);
+    }
+
+    #[test]
+    fn fold_matches_replayed_mean_constant_step() {
+        // The constant-step closed form must equal k literal updates at
+        // the mean reward (the documented mean-field semantics).
+        let mut seq = EpsilonGreedy::with_options(1, 0.0, 0.0, StepSize::Constant(0.5));
+        let mut folded = EpsilonGreedy::with_options(1, 0.0, 0.0, StepSize::Constant(0.5));
+        seq.update(0, 0.2);
+        folded.update(0, 0.2);
+        let (k, sum) = (7u64, 7.0 * 0.8);
+        for _ in 0..k {
+            seq.update(0, 0.8);
+        }
+        folded.fold(0, k, sum);
+        assert!((seq.estimates()[0] - folded.estimates()[0]).abs() < 1e-12);
+        assert_eq!(seq.pulls(), folded.pulls());
+    }
+
+    #[test]
+    fn fold_zero_pulls_is_a_no_op() {
+        let mut p = EpsilonGreedy::optimistic(2, 0.1, 1.0);
+        p.fold(0, 0, 0.0);
+        assert_eq!(p.pulls(), &[0, 0]);
+        assert_eq!(p.estimates(), &[1.0, 1.0]);
     }
 
     #[test]

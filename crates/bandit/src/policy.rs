@@ -32,6 +32,31 @@ pub trait Policy: Send {
     /// Feed back the observed reward for `arm`.
     fn update(&mut self, arm: usize, reward: f64);
 
+    /// Fold `pulls` *foreign* pulls of `arm` totalling `reward_sum` into
+    /// this policy's state, as if [`Policy::update`] had been called
+    /// `pulls` times with the mean reward `reward_sum / pulls`.
+    ///
+    /// This is the delta-sync merge primitive for replicated selectors:
+    /// a shard replica periodically folds the outcomes other shards
+    /// published since its last sync. For sample-average policies the
+    /// fold is *exact* — the posterior depends only on per-arm reward
+    /// sums and counts, which are order-independent — and implementations
+    /// override it with an O(1) closed form. The default replays the mean
+    /// `pulls` times, which is exact for sample averages and the standard
+    /// mean-field approximation otherwise (constant-step and gradient
+    /// policies are order-sensitive, so any merge of concurrent histories
+    /// is an approximation; see the shard-equivalence tests for the
+    /// measured cost).
+    fn fold(&mut self, arm: usize, pulls: u64, reward_sum: f64) {
+        if pulls == 0 {
+            return;
+        }
+        let mean = reward_sum / pulls as f64;
+        for _ in 0..pulls {
+            self.update(arm, mean);
+        }
+    }
+
     /// Current value estimates per arm (for introspection and tests).
     fn estimates(&self) -> &[f64];
 
@@ -53,6 +78,10 @@ impl Policy for Box<dyn Policy> {
 
     fn update(&mut self, arm: usize, reward: f64) {
         (**self).update(arm, reward)
+    }
+
+    fn fold(&mut self, arm: usize, pulls: u64, reward_sum: f64) {
+        (**self).fold(arm, pulls, reward_sum)
     }
 
     fn estimates(&self) -> &[f64] {

@@ -61,6 +61,21 @@ impl Policy for Ucb {
         self.q[arm] += (reward - self.q[arm]) / self.n[arm] as f64;
     }
 
+    fn fold(&mut self, arm: usize, pulls: u64, reward_sum: f64) {
+        // UCB keeps sample-average estimates, so the fold is exact.
+        if pulls == 0 {
+            return;
+        }
+        let n0 = self.n[arm];
+        self.n[arm] += pulls;
+        self.total += pulls;
+        self.q[arm] = if n0 == 0 {
+            reward_sum / pulls as f64
+        } else {
+            (self.q[arm] * n0 as f64 + reward_sum) / (n0 + pulls) as f64
+        };
+    }
+
     fn estimates(&self) -> &[f64] {
         &self.q
     }

@@ -1,28 +1,36 @@
 //! The multithreaded ingest → compress pipeline (§IV-C workflow, §V
-//! scalability experiment).
+//! scalability experiment), sharded per core.
 //!
-//! An ingestion stage pushes fixed-size raw segments into a bounded
-//! uncompressed buffer (a crossbeam channel); `n_compression_threads`
-//! workers pop segments, consult the shared MAB selector, compress outside
-//! the selector lock, and report the reward back. A full buffer counts as
-//! a spill-to-disk event (the paper flushes to disk when the uncompressed
-//! buffer overflows).
+//! The pipeline runs **S independent shards** (S = worker threads): each
+//! shard owns a bounded segment queue, a recycle pool sized by the
+//! per-shard pigeonhole bound ([`crate::shard::shard_pool_size`]), and a
+//! local [`ReplicaSelector`] that makes every arm decision lock-free from
+//! its own copy of the bandit state. Replicas publish per-batch outcome
+//! deltas into a [`SharedOutcomeTable`] with plain `fetch_add`s and fold
+//! foreign deltas back every [`EngineConfig::sync_interval`] decisions —
+//! there is **zero mutex traffic per segment** in the steady state, which
+//! the report's `selector_lock_acquisitions` counter proves.
 //!
-//! Segments move through the channels in batches of
-//! [`EngineConfig::batch_segments`] (K): the ingestion stage fills K
-//! recycled segment buffers per channel send, and a worker selects one arm,
-//! holds it sticky across the whole batch, accumulates the K rewards
-//! locally and reports them in a single
-//! [`LosslessSelector::report_batch`] call — one channel op and two lock
-//! acquisitions per *batch* instead of per segment. K = 1 reproduces the
-//! per-segment scheduling bit-for-bit (the bandit-exact mode the regret
-//! tests rely on).
+//! The ingestion stage round-robins batches across shard queues (skipping
+//! shards whose pool is momentarily empty, so a slow shard cannot stall
+//! ingest), and workers **steal** from foreign shard queues when their own
+//! runs dry, so a shard pinned on an expensive or quarantined arm cannot
+//! idle the others. A stolen batch is decided by the *stealing* worker's
+//! replica and its buffers return to the *home* shard's recycle pool.
+//!
+//! Segments move in batches of [`EngineConfig::batch_segments`] (K): one
+//! arm decision held sticky per batch, outcomes accumulated locally and
+//! reported through [`ReplicaSelector::report_batch`]. S = 1 reproduces
+//! the centralized selector bit for bit (single replica, same seed, no
+//! foreign deltas), and K = 1 on top of that reproduces per-segment
+//! scheduling exactly — the bandit-exact mode the equivalence tests pin.
 
 use crate::error::{AdaEdgeError, Result};
-use crate::selector::{ArmOutcome, LosslessSelector, SelectorConfig};
+use crate::selector::{ArmOutcome, SelectorConfig};
+use crate::shard::{resolve_threads, shard_pool_size, ReplicaSelector, SharedOutcomeTable};
 use adaedge_codecs::{CodecId, CodecRegistry, CodecScratch};
 use adaedge_datasets::SegmentSource;
-use crossbeam::channel;
+use crossbeam::channel::{self, TryRecvError};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -32,23 +40,33 @@ use std::time::{Duration, Instant};
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
-    /// Number of compression worker threads (the paper scales 1 → 8).
+    /// Number of compression worker threads — one pipeline shard each.
+    /// `0` means one per core (`std::thread::available_parallelism`).
     pub n_compression_threads: usize,
-    /// Uncompressed-buffer capacity in segments; ingestion that finds the
-    /// buffer full counts a spill.
+    /// Uncompressed-buffer capacity in segments, split evenly across the
+    /// shard queues; ingestion that finds a shard's queue full counts a
+    /// spill.
     pub buffer_segments: usize,
-    /// Lossless candidate arms for the shared selector.
+    /// Lossless candidate arms, replicated into every shard's selector.
     pub lossless_arms: Vec<CodecId>,
-    /// MAB hyper-parameters.
+    /// MAB hyper-parameters (each shard's replica derives its RNG stream
+    /// from `selector.seed` and its shard id; shard 0 uses the seed
+    /// unchanged).
     pub selector: SelectorConfig,
     /// Dataset decimal precision.
     pub precision: u8,
     /// Segments per scheduling batch (K). Workers pull K segments per
-    /// channel op, keep the selected arm sticky across the batch, and
-    /// report the K accumulated rewards under one selector lock. `1`
+    /// queue op, keep the selected arm sticky across the batch, and
+    /// report the K accumulated rewards in one replica update. `1`
     /// (the default) is the bandit-exact mode: selection, reward order and
-    /// channel traffic are identical to per-segment scheduling.
+    /// queue traffic are identical to per-segment scheduling.
     pub batch_segments: usize,
+    /// Arm decisions between delta-sync folds: how often each shard's
+    /// replica pulls the other shards' published outcomes into its local
+    /// estimates. Lower = fresher cross-shard state, more fold work;
+    /// `1` folds after every decision. With a single shard the value is
+    /// irrelevant (there are never foreign deltas).
+    pub sync_interval: usize,
     /// Deterministic fault injection for containment tests: every compress
     /// call for this codec panics inside the workers (see
     /// [`CodecRegistry::inject_compress_panic`]). Production configurations
@@ -65,24 +83,40 @@ impl Default for EngineConfig {
             selector: SelectorConfig::default(),
             precision: 4,
             batch_segments: 1,
+            sync_interval: DEFAULT_SYNC_INTERVAL,
             fault_injection: None,
         }
     }
 }
 
-/// A batch of recycled segment buffers moving through the pipeline
-/// channels as one unit.
-type SegmentBatch = Vec<Vec<f64>>;
+/// Default decisions-between-folds: frequent enough that quarantine and
+/// posterior drift propagate within a few hundred segments at typical K,
+/// rare enough that the O(arms) fold stays invisible in profiles.
+pub const DEFAULT_SYNC_INTERVAL: usize = 32;
 
-/// Seed a recycle channel with `pool` batches of `k` segment buffers each.
+/// A batch of recycled segment buffers moving through one shard's queues
+/// as a unit. `home` names the shard whose recycle pool owns the buffers —
+/// a stolen batch is processed by a foreign worker but its buffers always
+/// return home, keeping the per-shard pool accounting intact.
+struct SegmentBatch {
+    home: usize,
+    segs: Vec<Vec<f64>>,
+}
+
+/// Seed shard `home`'s recycle channel with `pool` batches of `k` segment
+/// buffers each.
 fn seed_recycle_pool(
     recycle_tx: &channel::Sender<SegmentBatch>,
+    home: usize,
     pool: usize,
     k: usize,
     segment_len: usize,
 ) -> Result<()> {
     for _ in 0..pool {
-        let batch: SegmentBatch = (0..k).map(|_| Vec::with_capacity(segment_len)).collect();
+        let batch = SegmentBatch {
+            home,
+            segs: (0..k).map(|_| Vec::with_capacity(segment_len)).collect(),
+        };
         recycle_tx
             .send(batch)
             .map_err(|_| AdaEdgeError::WorkerFailed {
@@ -96,9 +130,95 @@ fn seed_recycle_pool(
 /// Truncation below `k` only happens on the final partial batch, so the
 /// steady state never sheds buffers.
 fn fill_batch(source: &mut dyn SegmentSource, batch: &mut SegmentBatch, remaining: usize) {
-    batch.truncate(batch.len().min(remaining));
-    for seg in batch.iter_mut() {
+    batch.segs.truncate(batch.segs.len().min(remaining));
+    for seg in batch.segs.iter_mut() {
         source.next_segment_into(seg);
+    }
+}
+
+/// Receive the next batch for the worker of shard `me`: its own queue
+/// first, then a steal sweep over foreign queues, then a short blocking
+/// wait before rescanning. Returns `None` once every queue is
+/// disconnected and drained. `open` tracks queues not yet known dead.
+fn recv_or_steal(
+    me: usize,
+    rxs: &[channel::Receiver<SegmentBatch>],
+    open: &mut [bool],
+    table: &SharedOutcomeTable,
+) -> Option<SegmentBatch> {
+    loop {
+        // Fast path: the shard's own queue.
+        if open[me] {
+            match rxs[me].try_recv() {
+                Ok(b) => return Some(b),
+                Err(TryRecvError::Empty) => {}
+                Err(TryRecvError::Disconnected) => open[me] = false,
+            }
+        }
+        // Steal sweep, starting just past our own shard so contending
+        // stealers fan out over different victims.
+        for off in 1..rxs.len() {
+            let j = (me + off) % rxs.len();
+            if !open[j] {
+                continue;
+            }
+            match rxs[j].try_recv() {
+                Ok(b) => {
+                    table.count_steal();
+                    return Some(b);
+                }
+                Err(TryRecvError::Empty) => {}
+                Err(TryRecvError::Disconnected) => open[j] = false,
+            }
+        }
+        if !open.iter().any(|&o| o) {
+            return None;
+        }
+        // Everything open is momentarily empty: block briefly on our own
+        // queue (or any surviving one) and rescan. The timeout bounds how
+        // long a worker sleeps through a batch that landed on a foreign
+        // queue after its sweep passed it.
+        let wait = if open[me] {
+            me
+        } else {
+            open.iter().position(|&o| o).expect("checked above")
+        };
+        match rxs[wait].recv_timeout(Duration::from_millis(1)) {
+            Ok(b) => {
+                if wait != me {
+                    table.count_steal();
+                }
+                return Some(b);
+            }
+            Err(channel::RecvTimeoutError::Timeout) => {}
+            Err(channel::RecvTimeoutError::Disconnected) => open[wait] = false,
+        }
+    }
+}
+
+/// Take a recycled batch for the producer, sweeping the shard pools from
+/// the round-robin cursor and blocking on the cursor shard only when every
+/// pool is momentarily drained (the per-shard pool bound guarantees a
+/// batch comes back). Advances the cursor past the shard that supplied the
+/// batch. Returns `None` when the pipeline has shut down.
+fn acquire_recycled(
+    next: &mut usize,
+    recycle_rxs: &[channel::Receiver<SegmentBatch>],
+) -> Option<SegmentBatch> {
+    let s = recycle_rxs.len();
+    for off in 0..s {
+        let sh = (*next + off) % s;
+        if let Ok(b) = recycle_rxs[sh].try_recv() {
+            *next = (sh + 1) % s;
+            return Some(b);
+        }
+    }
+    match recycle_rxs[*next].recv() {
+        Ok(b) => {
+            *next = (*next + 1) % s;
+            Some(b)
+        }
+        Err(_) => None,
     }
 }
 
@@ -117,24 +237,35 @@ pub struct EngineReport {
     pub elapsed_seconds: f64,
     /// Achieved throughput in points per second.
     pub points_per_sec: f64,
-    /// Times the ingestion stage found the buffer full.
+    /// Times the ingestion stage found a shard queue full.
     pub spills: u64,
     /// How often each codec was selected.
     pub codec_counts: HashMap<CodecId, u64>,
     /// Contained codec failures (errors or panics caught inside workers).
     /// Each failed segment was degraded to Raw rather than lost.
     pub codec_failures: u64,
-    /// Arms the selector quarantined after repeated consecutive failures.
+    /// Arms quarantined (on any shard) after repeated consecutive
+    /// failures; verdicts propagate to every shard at its next sync.
     pub quarantined: Vec<CodecId>,
+    /// Pipeline shards (= worker threads) the run used.
+    pub shards: usize,
+    /// Batches a worker took from a foreign shard's queue.
+    pub stolen_batches: u64,
+    /// Delta-sync folds performed across all shard replicas.
+    pub selector_syncs: u64,
+    /// Mutex acquisitions on the per-segment selector hot path. The
+    /// sharded engine has none — this is the lock-freedom proof the
+    /// shard-equivalence suite asserts stays 0.
+    pub selector_lock_acquisitions: u64,
 }
 
-/// Run `n_segments` from `source` through the pipeline and report
+/// Run `n_segments` from `source` through the sharded pipeline and report
 /// aggregate throughput.
 ///
 /// Codec errors and panics are contained per segment (the segment is
 /// stored Raw and the arm penalized); `Err(AdaEdgeError::WorkerFailed)`
 /// is returned only if a worker thread dies outside that contained
-/// region, or the recycle pool cannot be seeded.
+/// region, or a recycle pool cannot be seeded.
 pub fn run_pipeline(
     source: &mut dyn SegmentSource,
     n_segments: usize,
@@ -145,54 +276,62 @@ pub fn run_pipeline(
         reg.inject_compress_panic(id);
     }
     let reg = reg;
-    let selector = Mutex::new(LosslessSelector::new(
-        config.lossless_arms.clone(),
-        config.selector,
-    ));
-    let n_threads = config.n_compression_threads.max(1);
+    let n_shards = resolve_threads(config.n_compression_threads);
     let buffer_cap = config.buffer_segments.max(1);
     let k = config.batch_segments.max(1);
-    // The channel is bounded in *batches*; `buffer_segments` keeps its
-    // meaning (segments of in-flight buffer) by dividing through K.
-    let batch_cap = buffer_cap.div_ceil(k);
-    let (tx, rx) = channel::bounded::<SegmentBatch>(batch_cap);
-    // Segment-buffer recycling loop: workers return drained batches to the
-    // ingestion stage instead of dropping them, so steady-state ingest
-    // reuses a fixed pool and performs zero heap allocations per segment.
-    // Pool sizing: one batch per queue slot, one per in-flight worker, one
-    // in the producer's hand — by pigeonhole at least one batch is always
-    // in (or headed to) the recycle channel, so the producer never
-    // deadlocks on `recv`.
-    let pool = batch_cap + n_threads + 1;
-    let (recycle_tx, recycle_rx) = channel::bounded::<SegmentBatch>(pool);
-    seed_recycle_pool(&recycle_tx, pool, k, source.segment_len())?;
+    let sync_interval = config.sync_interval.max(1);
+    // The queues are bounded in *batches*; `buffer_segments` keeps its
+    // meaning (segments of in-flight buffer) by dividing through K and
+    // splitting the result across the shard queues. The floor of two
+    // batches per shard lets a worker drain one batch while the producer
+    // parks the next — a single-slot queue serializes the two stages.
+    let batch_cap = buffer_cap.div_ceil(k).div_ceil(n_shards).max(2);
+    let pool = shard_pool_size(batch_cap, n_shards);
+    let table = SharedOutcomeTable::new(config.lossless_arms.len());
+
+    let mut txs = Vec::with_capacity(n_shards);
+    let mut rxs = Vec::with_capacity(n_shards);
+    let mut recycle_txs = Vec::with_capacity(n_shards);
+    let mut recycle_rxs = Vec::with_capacity(n_shards);
+    for home in 0..n_shards {
+        let (tx, rx) = channel::bounded::<SegmentBatch>(batch_cap);
+        let (rtx, rrx) = channel::bounded::<SegmentBatch>(pool);
+        seed_recycle_pool(&rtx, home, pool, k, source.segment_len())?;
+        txs.push(tx);
+        rxs.push(rx);
+        recycle_txs.push(rtx);
+        recycle_rxs.push(rrx);
+    }
     let bytes_out = AtomicU64::new(0);
     let spills = AtomicU64::new(0);
-    let codec_failures = AtomicU64::new(0);
     let segment_points = source.segment_len() as u64;
 
     let start = Instant::now();
     let mut codec_counts: HashMap<CodecId, u64> = HashMap::new();
     std::thread::scope(|scope| -> Result<()> {
         let mut workers = Vec::new();
-        for _ in 0..n_threads {
-            let rx = rx.clone();
-            let recycle_tx = recycle_tx.clone();
+        for me in 0..n_shards {
+            let all_rxs = rxs.to_vec();
+            let all_recycle_txs = recycle_txs.to_vec();
             let reg = &reg;
-            let selector = &selector;
+            let table = &table;
             let bytes_out = &bytes_out;
-            let codec_failures = &codec_failures;
+            let arms = config.lossless_arms.clone();
+            let selector_config = config.selector;
             workers.push(scope.spawn(move || {
+                let mut replica =
+                    ReplicaSelector::new(arms, selector_config, me, table, sync_interval);
                 let mut scratch = CodecScratch::new();
                 let mut local_counts: HashMap<CodecId, u64> = HashMap::new();
                 let mut outcomes: Vec<ArmOutcome> = Vec::with_capacity(k);
-                while let Ok(batch) = rx.recv() {
-                    // Select under the lock once per batch, compress the
-                    // whole batch outside it with the arm held sticky, then
-                    // report the accumulated outcomes under one lock.
-                    let (arm, codec) = selector.lock().select_arm();
+                let mut open = vec![true; n_shards];
+                while let Some(batch) = recv_or_steal(me, &all_rxs, &mut open, table) {
+                    // One lock-free decision per batch, arm held sticky;
+                    // outcomes accumulate locally and publish as one
+                    // atomic delta.
+                    let (arm, codec) = replica.select_arm();
                     outcomes.clear();
-                    for data in &batch {
+                    for data in &batch.segs {
                         let outcome = catch_unwind(AssertUnwindSafe(|| {
                             reg.compress_into(codec, data, &mut scratch)
                                 .map(|b| (b.ratio(), b.compressed_bytes()))
@@ -210,7 +349,6 @@ pub fn run_pipeline(
                             // rebuilds its output from scratch, so the
                             // fallback is unaffected.)
                             _ => {
-                                codec_failures.fetch_add(1, Ordering::Relaxed);
                                 outcomes.push(ArmOutcome::Failure);
                                 if let Ok(block) =
                                     reg.compress_into(CodecId::Raw, data, &mut scratch)
@@ -224,41 +362,47 @@ pub fn run_pipeline(
                             }
                         }
                     }
-                    selector.lock().report_batch(arm, &outcomes);
-                    // Hand the drained batch back to the ingestion stage
+                    replica.report_batch(arm, &outcomes);
+                    // Hand the drained batch back to its home shard's pool
                     // (fails harmlessly once ingestion is done).
-                    let _ = recycle_tx.send(batch);
+                    let home = batch.home;
+                    let _ = all_recycle_txs[home].send(batch);
                 }
+                // Final fold so the replica's view is complete at exit.
+                replica.sync();
                 local_counts
             }));
         }
-        drop(rx);
-        drop(recycle_tx);
+        drop(rxs);
+        drop(recycle_txs);
 
-        // Ingestion stage (this thread): refill a recycled batch. A failed
-        // `try_send` is the spill signal — it observes fullness and enqueues
-        // in one channel operation; every segment in the delayed batch
-        // counts as spilled.
+        // Ingestion stage (this thread): refill a recycled batch from the
+        // least-backlogged pool the round-robin sweep finds, enqueue it on
+        // its home shard. A failed `try_send` is the spill signal — it
+        // observes fullness and enqueues in one channel operation; every
+        // segment in the delayed batch counts as spilled.
+        let mut next = 0usize;
         let mut remaining = n_segments;
         while remaining > 0 {
-            let Ok(mut batch) = recycle_rx.recv() else {
+            let Some(mut batch) = acquire_recycled(&mut next, &recycle_rxs) else {
                 break;
             };
             fill_batch(source, &mut batch, remaining);
-            remaining -= batch.len();
-            match tx.try_send(batch) {
+            remaining -= batch.segs.len();
+            let home = batch.home;
+            match txs[home].try_send(batch) {
                 Ok(()) => {}
                 Err(channel::TrySendError::Full(batch)) => {
-                    spills.fetch_add(batch.len() as u64, Ordering::Relaxed);
-                    if tx.send(batch).is_err() {
+                    spills.fetch_add(batch.segs.len() as u64, Ordering::Relaxed);
+                    if txs[home].send(batch).is_err() {
                         break;
                     }
                 }
                 Err(channel::TrySendError::Disconnected(_)) => break,
             }
         }
-        drop(tx);
-        drop(recycle_rx);
+        drop(txs);
+        drop(recycle_rxs);
 
         // Join every worker before deciding the outcome so a single dead
         // thread cannot leave the scope with unjoined panics.
@@ -282,7 +426,6 @@ pub fn run_pipeline(
     })?;
     let elapsed = start.elapsed().as_secs_f64();
     let points = n_segments as u64 * segment_points;
-    let selector = selector.into_inner();
     Ok(EngineReport {
         segments: n_segments as u64,
         points,
@@ -292,19 +435,24 @@ pub fn run_pipeline(
         points_per_sec: points as f64 / elapsed.max(1e-9),
         spills: spills.load(Ordering::Relaxed),
         codec_counts,
-        codec_failures: codec_failures.load(Ordering::Relaxed),
-        quarantined: selector.quarantined_arms(),
+        codec_failures: table.failure_total(),
+        quarantined: table.quarantined_arms(&config.lossless_arms),
+        shards: n_shards,
+        stolen_batches: table.stolen_batches(),
+        selector_syncs: table.syncs(),
+        selector_lock_acquisitions: table.selector_locks(),
     })
 }
 
-/// Offline-mode engine configuration: the paper's 4-thread layout
+/// Offline-mode engine configuration: the paper's thread layout
 /// (ingestion, compression, recoding, evaluation; reward evaluation runs
-/// inside the recoding step here).
+/// inside the recoding step here), sharded like [`EngineConfig`].
 #[derive(Debug, Clone)]
 pub struct OfflineEngineConfig {
-    /// Compression worker threads.
+    /// Compression worker threads — one pipeline shard each; `0` means one
+    /// per core.
     pub n_compression_threads: usize,
-    /// Uncompressed-buffer capacity in segments.
+    /// Uncompressed-buffer capacity in segments, split across shards.
     pub buffer_segments: usize,
     /// Hard storage budget in bytes.
     pub storage_budget_bytes: usize,
@@ -322,8 +470,11 @@ pub struct OfflineEngineConfig {
     pub precision: u8,
     /// Segments per scheduling batch (K), as in
     /// [`EngineConfig::batch_segments`]. Also bounds how many recode
-    /// victims the recoding thread drains per selector-lock acquisition.
+    /// victims the recoding thread drains per pass.
     pub batch_segments: usize,
+    /// Arm decisions between delta-sync folds, as in
+    /// [`EngineConfig::sync_interval`].
+    pub sync_interval: usize,
 }
 
 impl OfflineEngineConfig {
@@ -340,6 +491,7 @@ impl OfflineEngineConfig {
             target,
             precision: 4,
             batch_segments: 1,
+            sync_interval: DEFAULT_SYNC_INTERVAL,
         }
     }
 }
@@ -365,13 +517,24 @@ pub struct OfflineEngineReport {
     pub points_per_sec: f64,
     /// Contained codec failures (errors or panics caught inside workers).
     pub codec_failures: u64,
-    /// Lossless arms quarantined after repeated consecutive failures.
+    /// Lossless arms quarantined (on any shard) after repeated failures.
     pub quarantined: Vec<CodecId>,
+    /// Pipeline shards (= worker threads) the run used.
+    pub shards: usize,
+    /// Batches a worker took from a foreign shard's queue.
+    pub stolen_batches: u64,
+    /// Delta-sync folds performed across all shard replicas.
+    pub selector_syncs: u64,
+    /// Mutex acquisitions on the per-segment selector hot path (0: the
+    /// lossless replicas are lock-free and the recoding thread *owns* its
+    /// banded lossy selector outright).
+    pub selector_lock_acquisitions: u64,
 }
 
 /// Run the multithreaded offline pipeline: ingestion (caller thread) →
-/// bounded buffer → compression workers → shared budgeted store, with a
-/// dedicated recoding thread draining space via the banded lossy MAB.
+/// sharded queues → compression workers → shared budgeted store, with a
+/// dedicated recoding thread draining space via the banded lossy MAB it
+/// owns outright (no selector mutex anywhere).
 ///
 /// Codec failures are contained per segment exactly as in
 /// [`run_pipeline`]; `Err(AdaEdgeError::WorkerFailed)` means a worker or
@@ -387,17 +550,11 @@ pub fn run_offline_pipeline(
 
     let reg = CodecRegistry::new(config.precision);
     let store = Mutex::new(SegmentStore::with_budget(config.storage_budget_bytes));
-    let lossless = Mutex::new(LosslessSelector::new(
-        config.lossless_arms.clone(),
-        config.selector,
-    ));
     let evaluator = RewardEvaluator::new(config.target.clone(), None, 0);
-    let lossy = Mutex::new(BandedLossySelector::new(
-        config.lossy_arms.clone(),
-        config.selector,
-        evaluator,
-    ));
-    let n_threads = config.n_compression_threads.max(1);
+    // The recoding thread is the banded lossy selector's only user, so it
+    // owns the selector outright — no mutex, no contention.
+    let mut lossy = BandedLossySelector::new(config.lossy_arms.clone(), config.selector, evaluator);
+    let n_shards = resolve_threads(config.n_compression_threads);
     let buffer_cap = config.buffer_segments.max(1);
     let workers_done = std::sync::atomic::AtomicBool::new(false);
     // Signals any change to the store's occupancy: workers wake the recoder
@@ -408,13 +565,25 @@ pub fn run_offline_pipeline(
     let recodes = AtomicU64::new(0);
     let drops = AtomicU64::new(0);
     let k = config.batch_segments.max(1);
-    let batch_cap = buffer_cap.div_ceil(k);
-    let (tx, rx) = channel::bounded::<SegmentBatch>(batch_cap);
-    // Same batched segment-buffer recycling loop as `run_pipeline`.
-    let pool = batch_cap + n_threads + 1;
-    let (recycle_tx, recycle_rx) = channel::bounded::<SegmentBatch>(pool);
-    seed_recycle_pool(&recycle_tx, pool, k, source.segment_len())?;
-    let codec_failures = AtomicU64::new(0);
+    let sync_interval = config.sync_interval.max(1);
+    // Two-batch floor per shard, as in `run_pipeline`.
+    let batch_cap = buffer_cap.div_ceil(k).div_ceil(n_shards).max(2);
+    // Same per-shard recycle pools as `run_pipeline`.
+    let pool = shard_pool_size(batch_cap, n_shards);
+    let table = SharedOutcomeTable::new(config.lossless_arms.len());
+    let mut txs = Vec::with_capacity(n_shards);
+    let mut rxs = Vec::with_capacity(n_shards);
+    let mut recycle_txs = Vec::with_capacity(n_shards);
+    let mut recycle_rxs = Vec::with_capacity(n_shards);
+    for home in 0..n_shards {
+        let (tx, rx) = channel::bounded::<SegmentBatch>(batch_cap);
+        let (rtx, rrx) = channel::bounded::<SegmentBatch>(pool);
+        seed_recycle_pool(&rtx, home, pool, k, source.segment_len())?;
+        txs.push(tx);
+        rxs.push(rx);
+        recycle_txs.push(rtx);
+        recycle_rxs.push(rrx);
+    }
     let segment_points = source.segment_len() as u64;
     let threshold = config.recode_threshold;
     let budget = config.storage_budget_bytes;
@@ -423,11 +592,10 @@ pub fn run_offline_pipeline(
     std::thread::scope(|scope| -> Result<()> {
         // Recoding thread: frees space whenever occupancy crosses θ·budget.
         // Victims are drained in batches of up to K per pass: one store
-        // lock to snapshot them, one selector lock across all their
-        // recodes, one store lock to commit the winners.
+        // lock to snapshot them, recodes through the thread-owned selector,
+        // one store lock to commit the winners.
         let recoder = {
             let store = &store;
-            let lossy = &lossy;
             let reg = &reg;
             let workers_done = &workers_done;
             let recodes = &recodes;
@@ -483,15 +651,12 @@ pub fn run_offline_pipeline(
                     store_cv.wait_for(&mut guard, Duration::from_millis(5));
                     continue;
                 }
-                // One selector-lock acquisition for the whole victim batch
-                // (each recode self-reports its rewards via report_batch).
-                let results: Vec<_> = {
-                    let mut sel = lossy.lock();
-                    victims
-                        .iter()
-                        .map(|(_, block, target_ratio)| sel.recode(reg, block, None, *target_ratio))
-                        .collect()
-                };
+                // The selector is thread-owned: recodes report their
+                // rewards directly, no lock to acquire or batch around.
+                let results: Vec<_> = victims
+                    .iter()
+                    .map(|(_, block, target_ratio)| lossy.recode(reg, block, None, *target_ratio))
+                    .collect();
                 let mut committed = false;
                 {
                     let mut guard = store.lock();
@@ -526,28 +691,32 @@ pub fn run_offline_pipeline(
             })
         };
 
-        // Compression workers.
+        // Compression workers, one shard each.
         let mut workers = Vec::new();
-        for _ in 0..n_threads {
-            let rx = rx.clone();
-            let recycle_tx = recycle_tx.clone();
+        for me in 0..n_shards {
+            let all_rxs = rxs.to_vec();
+            let all_recycle_txs = recycle_txs.to_vec();
             let reg = &reg;
-            let lossless = &lossless;
+            let table = &table;
             let store = &store;
             let store_cv = &store_cv;
             let drops = &drops;
-            let codec_failures = &codec_failures;
+            let arms = config.lossless_arms.clone();
+            let selector_config = config.selector;
             workers.push(scope.spawn(move || {
+                let mut replica =
+                    ReplicaSelector::new(arms, selector_config, me, table, sync_interval);
                 let mut scratch = CodecScratch::new();
                 let mut outcomes: Vec<ArmOutcome> = Vec::with_capacity(k);
                 let mut blocks = Vec::with_capacity(k);
-                while let Ok(batch) = rx.recv() {
-                    // One selection per batch (arm held sticky), one
-                    // report_batch, then the store puts.
-                    let (arm, codec) = lossless.lock().select_arm();
+                let mut open = vec![true; n_shards];
+                while let Some(batch) = recv_or_steal(me, &all_rxs, &mut open, table) {
+                    // One lock-free decision per batch (arm held sticky),
+                    // one replica report, then the store puts.
+                    let (arm, codec) = replica.select_arm();
                     outcomes.clear();
                     blocks.clear();
-                    for data in &batch {
+                    for data in &batch.segs {
                         // The store takes ownership, so the scratch-backed
                         // block is materialized once inside the contained
                         // region.
@@ -564,7 +733,6 @@ pub fn run_offline_pipeline(
                             // and degrade the segment to Raw instead of
                             // losing it.
                             _ => {
-                                codec_failures.fetch_add(1, Ordering::Relaxed);
                                 outcomes.push(ArmOutcome::Failure);
                                 match reg.compress_into(CodecId::Raw, data, &mut scratch) {
                                     Ok(b) => blocks.push(b.to_block()),
@@ -575,8 +743,9 @@ pub fn run_offline_pipeline(
                             }
                         }
                     }
-                    lossless.lock().report_batch(arm, &outcomes);
-                    let _ = recycle_tx.send(batch);
+                    replica.report_batch(arm, &outcomes);
+                    let home = batch.home;
+                    let _ = all_recycle_txs[home].send(batch);
                     for block in blocks.drain(..) {
                         // Wait (bounded) for the recoder to clear space,
                         // sleeping on the condvar between attempts instead
@@ -604,24 +773,27 @@ pub fn run_offline_pipeline(
                         }
                     }
                 }
+                replica.sync();
             }));
         }
-        drop(rx);
-        drop(recycle_tx);
+        drop(rxs);
+        drop(recycle_txs);
 
+        let mut next = 0usize;
         let mut remaining = n_segments;
         while remaining > 0 {
-            let Ok(mut batch) = recycle_rx.recv() else {
+            let Some(mut batch) = acquire_recycled(&mut next, &recycle_rxs) else {
                 break;
             };
             fill_batch(source, &mut batch, remaining);
-            remaining -= batch.len();
-            if tx.send(batch).is_err() {
+            remaining -= batch.segs.len();
+            let home = batch.home;
+            if txs[home].send(batch).is_err() {
                 break;
             }
         }
-        drop(tx);
-        drop(recycle_rx);
+        drop(txs);
+        drop(recycle_rxs);
         // Join everything before deciding the outcome so the scope never
         // exits with an unjoined panicked thread.
         let mut lost_worker = false;
@@ -647,7 +819,6 @@ pub fn run_offline_pipeline(
     })?;
 
     let elapsed = start.elapsed().as_secs_f64();
-    let lossless = lossless.into_inner();
     let guard = store.lock();
     let points = n_segments as u64 * segment_points;
     Ok(OfflineEngineReport {
@@ -659,8 +830,12 @@ pub fn run_offline_pipeline(
         drops: drops.load(Ordering::Relaxed),
         elapsed_seconds: elapsed,
         points_per_sec: points as f64 / elapsed.max(1e-9),
-        codec_failures: codec_failures.load(Ordering::Relaxed),
-        quarantined: lossless.quarantined_arms(),
+        codec_failures: table.failure_total(),
+        quarantined: table.quarantined_arms(&config.lossless_arms),
+        shards: n_shards,
+        stolen_batches: table.stolen_batches(),
+        selector_syncs: table.syncs(),
+        selector_lock_acquisitions: table.selector_locks(),
     })
 }
 
@@ -690,6 +865,8 @@ mod tests {
         assert_eq!(total, 50);
         assert_eq!(report.codec_failures, 0);
         assert!(report.quarantined.is_empty());
+        assert_eq!(report.shards, 2);
+        assert_eq!(report.selector_lock_acquisitions, 0);
     }
 
     #[test]
@@ -707,7 +884,9 @@ mod tests {
         assert_eq!(total, 60);
         assert_eq!(report.codec_counts.get(&CodecId::Gzip), None);
         // The failures were observed, routed to Raw, and the arm ended up
-        // quarantined (optimistic init keeps re-picking it until then).
+        // quarantined on at least one shard (optimistic init keeps
+        // re-picking it until then); the verdict lands in the report via
+        // the shared table.
         assert!(report.codec_failures >= 3, "{}", report.codec_failures);
         assert_eq!(
             report.codec_counts.get(&CodecId::Raw).copied().unwrap_or(0),
@@ -721,6 +900,24 @@ mod tests {
         let report = run(1, 20);
         assert!(report.points_per_sec > 0.0);
         assert!(report.elapsed_seconds > 0.0);
+        assert_eq!(report.shards, 1);
+        // A single shard can never steal from itself.
+        assert_eq!(report.stolen_batches, 0);
+    }
+
+    #[test]
+    fn threads_zero_resolves_to_available_parallelism() {
+        let mut source = SineStream::new(500, 0.1, 4, 7);
+        let config = EngineConfig {
+            n_compression_threads: 0,
+            ..Default::default()
+        };
+        let report = run_pipeline(&mut source, 10, &config).expect("pipeline");
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(report.shards, cores);
+        assert_eq!(report.segments, 10);
     }
 
     #[test]
@@ -738,6 +935,7 @@ mod tests {
         assert!(report.utilization <= 1.0 + 1e-9);
         assert!(report.recodes > 0, "recoder never ran");
         assert!(report.stored_bytes <= 60_000);
+        assert_eq!(report.selector_lock_acquisitions, 0);
     }
 
     #[test]
@@ -760,6 +958,8 @@ mod tests {
             let report = run(threads, 40);
             let total: u64 = report.codec_counts.values().sum();
             assert_eq!(total, 40, "{threads} threads");
+            assert_eq!(report.shards, threads);
+            assert_eq!(report.selector_lock_acquisitions, 0);
         }
     }
 }

@@ -13,6 +13,8 @@
 //! * [`baselines`] — fixed pairs, CodecDB-like and TVStore-like baselines.
 //! * [`query`] — aggregation queries over reconstructed segments.
 //! * [`engine`] — the multithreaded ingest/compress/recode runtime.
+//! * [`shard`] — per-shard selector replicas and the delta-sync outcome
+//!   table behind the engine's lock-free hot path.
 #![warn(missing_docs)]
 
 pub mod baselines;
@@ -23,6 +25,7 @@ pub mod offline;
 pub mod online;
 pub mod query;
 pub mod selector;
+pub mod shard;
 pub mod targets;
 
 pub use constraints::{Constraints, NetworkProfile};
@@ -34,4 +37,5 @@ pub use selector::{
     BandedLossySelector, BanditAlgorithm, LosslessSelector, LossySelector, Selection,
     SelectorConfig,
 };
+pub use shard::{resolve_threads, shard_pool_size, ReplicaSelector, SharedOutcomeTable};
 pub use targets::{OptimizationTarget, RewardEvaluator, TargetComponent};

@@ -247,6 +247,39 @@ impl LosslessSelector {
         self.quarantined[arm]
     }
 
+    /// Quarantine `arm` outright, regardless of its local failure streak.
+    ///
+    /// This is the cross-shard propagation path: a replica that learns
+    /// (from the shared outcome table) that another shard quarantined the
+    /// arm imposes the same verdict locally, without waiting to burn
+    /// [`QUARANTINE_AFTER`] of its own segments on a codec already known
+    /// bad. Idempotent; the local consecutive-failure streak is left
+    /// untouched.
+    pub fn quarantine_arm(&mut self, arm: usize) {
+        if !self.quarantined[arm] {
+            self.quarantined[arm] = true;
+            self.n_quarantined += 1;
+        }
+    }
+
+    /// Fold `pulls` *foreign* pulls of `arm` totalling `reward_sum` into
+    /// the underlying policy, as if this selector had observed them via
+    /// [`Self::report_ratio`] (see [`adaedge_bandit::Policy::fold`]).
+    ///
+    /// Foreign failures do **not** feed the local consecutive-failure
+    /// streak — failure streaks are a per-shard signal and quarantine
+    /// propagates through [`Self::quarantine_arm`] instead, so a codec
+    /// that fails only on one shard's data cannot be quarantined by
+    /// shards where it works.
+    pub fn fold_foreign(&mut self, arm: usize, pulls: u64, reward_sum: f64) {
+        self.mab.fold(arm, pulls, reward_sum);
+    }
+
+    /// Total pulls the underlying policy has absorbed (local + folded).
+    pub fn total_pulls(&self) -> u64 {
+        self.mab.total_pulls()
+    }
+
     /// Whether `arm` is currently quarantined.
     pub fn is_quarantined(&self, arm: usize) -> bool {
         self.quarantined[arm]

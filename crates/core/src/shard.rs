@@ -1,0 +1,497 @@
+//! Sharded selector replication with delta-sync (the CStream-style
+//! parallel-scaling layer).
+//!
+//! The engines in [`crate::engine`] run one pipeline *per shard*: each
+//! shard owns a bounded segment queue, a recycle pool, and — the part this
+//! module provides — a **local selector replica** that makes every arm
+//! decision lock-free from its own copy of the bandit state. Replicas stay
+//! coherent through a [`SharedOutcomeTable`]: per-batch outcome deltas are
+//! published with plain `fetch_add`s (no mutex anywhere on the segment hot
+//! path), and every [`ReplicaSelector::sync_interval`] decisions a replica
+//! folds the *foreign* deltas — everything other shards published since
+//! its last sync — back into its local policy via
+//! [`adaedge_bandit::Policy::fold`].
+//!
+//! Staleness semantics: between syncs a replica's estimates lag the global
+//! posterior by at most `(S − 1) · sync_interval` decisions' worth of
+//! foreign outcomes. For sample-average policies the fold itself is exact
+//! (posteriors depend only on per-arm sums and counts), so a replica that
+//! has just synced holds, up to the table's ~2⁻³² fixed-point quantization,
+//! exactly the centralized posterior. With a single shard there are no
+//! foreign deltas at all and the replica *is* the centralized selector,
+//! bit for bit — that is the bandit-exact mode the equivalence suites pin.
+//!
+//! Fault containment composes the same way: quarantine verdicts
+//! ([`crate::selector::QUARANTINE_AFTER`] consecutive local failures) are
+//! published as bits in the table and imposed on every other replica at
+//! its next sync, while consecutive-failure *streaks* stay shard-local so
+//! one shard's pathological data cannot quarantine a codec that works
+//! elsewhere.
+
+use crate::selector::{ArmOutcome, LosslessSelector, SelectorConfig};
+use adaedge_codecs::CodecId;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fixed-point scale for reward sums in the shared table: rewards lie in
+/// `[0, 1]`, so 2³² units per unit reward keeps published sums exact to
+/// ~2⁻³³ while a `u64` accumulator lasts ~4 billion pulls before overflow.
+const REWARD_UNIT: f64 = (1u64 << 32) as f64;
+
+/// Quantize a reward into table units (round-to-nearest).
+#[inline]
+fn to_units(reward: f64) -> u64 {
+    (reward * REWARD_UNIT).round() as u64
+}
+
+/// Resolve a configured thread/shard count: `0` means "one per core"
+/// (`std::thread::available_parallelism`), anything else is taken as is.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Per-shard recycle-pool size for a shard whose queue holds `batch_cap`
+/// batches in a pipeline with `n_shards` worker shards.
+///
+/// Derivation (the pigeonhole no-deadlock argument, re-derived for
+/// sharding with work-stealing): a shard's batches can simultaneously sit
+/// in (a) its own queue — at most `batch_cap`, since the producer only
+/// enqueues a batch on its home shard's queue; (b) workers' hands — at
+/// most `n_shards`, because **any** worker may steal and hold one batch
+/// from this shard, not just the shard's own worker; (c) the producer's
+/// hand — at most 1. With `batch_cap + n_shards + 1` batches in the pool,
+/// at least one is therefore always in (or headed to) the recycle channel
+/// and the producer's blocking `recv` cannot deadlock. The pre-shard
+/// global bound (`cap + threads + 1`) naively ported per shard would give
+/// `batch_cap + 1 + 1` (one worker per shard) and under-provisions by the
+/// `n_shards − 1` batches stealing can strand in foreign workers' hands.
+pub fn shard_pool_size(batch_cap: usize, n_shards: usize) -> usize {
+    batch_cap + n_shards + 1
+}
+
+/// One arm's shared accumulators.
+#[derive(Debug, Default)]
+struct ArmCell {
+    /// Successful pulls published for this arm, across all shards.
+    pulls: AtomicU64,
+    /// Fixed-point reward sum ([`REWARD_UNIT`] units) for those pulls.
+    reward_units: AtomicU64,
+    /// Cumulative contained failures (codec errors / caught panics).
+    failures: AtomicU64,
+}
+
+/// The shared, mutex-free outcome table replicas publish to and fold from.
+///
+/// Every field is an atomic counter: the segment hot path touches it only
+/// through `fetch_add` / `fetch_or`, never a lock. The table also carries
+/// the engine's contention and work-stealing observability counters so a
+/// report can *prove* the hot path stayed lock-free.
+#[derive(Debug)]
+pub struct SharedOutcomeTable {
+    arms: Vec<ArmCell>,
+    /// Quarantine verdict bitmask (bit `i` = arm `i`); `fetch_or` to set.
+    quarantined_bits: AtomicU64,
+    /// Delta-sync folds performed across all replicas.
+    syncs: AtomicU64,
+    /// Mutex acquisitions on the per-segment selector hot path. The
+    /// sharded pipelines have no such path, so this stays 0; any engine
+    /// code that reintroduces a shared selector lock must count it here,
+    /// and the shard-equivalence suite asserts the report shows zero.
+    selector_locks: AtomicU64,
+    /// Batches taken from a foreign shard's queue (work-stealing).
+    stolen_batches: AtomicU64,
+}
+
+impl SharedOutcomeTable {
+    /// Create a table for `n_arms` arms (at most 64, for the quarantine
+    /// bitmask — the codec roster is an order of magnitude smaller).
+    pub fn new(n_arms: usize) -> Self {
+        assert!(n_arms <= 64, "quarantine bitmask holds at most 64 arms");
+        Self {
+            arms: (0..n_arms).map(|_| ArmCell::default()).collect(),
+            quarantined_bits: AtomicU64::new(0),
+            syncs: AtomicU64::new(0),
+            selector_locks: AtomicU64::new(0),
+            stolen_batches: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of arms tracked.
+    pub fn n_arms(&self) -> usize {
+        self.arms.len()
+    }
+
+    /// Publish a batch's outcome delta for `arm`: `pulls` successful
+    /// compressions totalling `reward_units` fixed-point reward.
+    ///
+    /// The reward sum is added *before* the pull count with a `Release`
+    /// increment, so a reader that observes the pulls (`Acquire`) is
+    /// guaranteed to observe at least the matching reward units; any
+    /// excess units from a concurrently publishing shard are clamped at
+    /// fold time and picked up by the next sync.
+    fn publish(&self, arm: usize, pulls: u64, reward_units: u64) {
+        if pulls == 0 {
+            return;
+        }
+        self.arms[arm]
+            .reward_units
+            .fetch_add(reward_units, Ordering::Relaxed);
+        self.arms[arm].pulls.fetch_add(pulls, Ordering::Release);
+    }
+
+    /// Record one contained failure for `arm`.
+    fn record_failure(&self, arm: usize) {
+        self.arms[arm].failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publish a quarantine verdict for `arm`.
+    fn quarantine(&self, arm: usize) {
+        self.quarantined_bits
+            .fetch_or(1u64 << arm, Ordering::Release);
+    }
+
+    /// Current quarantine bitmask.
+    pub fn quarantine_bits(&self) -> u64 {
+        self.quarantined_bits.load(Ordering::Acquire)
+    }
+
+    /// Globally quarantined arms, mapped through the engine's arm roster.
+    pub fn quarantined_arms(&self, roster: &[CodecId]) -> Vec<CodecId> {
+        let bits = self.quarantine_bits();
+        roster
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &c)| (bits & (1u64 << i) != 0).then_some(c))
+            .collect()
+    }
+
+    /// Total contained failures across all arms and shards.
+    pub fn failure_total(&self) -> u64 {
+        self.arms
+            .iter()
+            .map(|c| c.failures.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total successful pulls across all arms and shards.
+    pub fn pull_total(&self) -> u64 {
+        self.arms
+            .iter()
+            .map(|c| c.pulls.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Delta-sync folds performed so far.
+    pub fn syncs(&self) -> u64 {
+        self.syncs.load(Ordering::Relaxed)
+    }
+
+    /// Hot-path selector-mutex acquisitions (0 in the sharded engines).
+    pub fn selector_locks(&self) -> u64 {
+        self.selector_locks.load(Ordering::Relaxed)
+    }
+
+    /// Count one hot-path selector-mutex acquisition. No sharded pipeline
+    /// calls this; it exists so any future locked path is forced to show
+    /// up in the report the equivalence suite pins to zero.
+    pub fn count_selector_lock(&self) {
+        self.selector_locks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Batches stolen from foreign shard queues.
+    pub fn stolen_batches(&self) -> u64 {
+        self.stolen_batches.load(Ordering::Relaxed)
+    }
+
+    /// Count one stolen batch.
+    pub fn count_steal(&self) {
+        self.stolen_batches.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A shard-local selector replica: a full [`LosslessSelector`] plus the
+/// delta-sync bookkeeping that keeps it coherent with the other shards.
+///
+/// All decision-making ([`Self::select_arm`]) and reward accounting
+/// ([`Self::report_batch`]) run on the owning shard's thread with no
+/// locking; the only cross-shard traffic is `fetch_add` publication and
+/// the periodic fold.
+pub struct ReplicaSelector<'t> {
+    inner: LosslessSelector,
+    table: &'t SharedOutcomeTable,
+    sync_interval: usize,
+    decisions_since_sync: usize,
+    /// Per-arm global pulls already reflected in `inner` (own published
+    /// plus previously folded foreign).
+    accounted_pulls: Vec<u64>,
+    /// Per-arm table reward units already reflected in `inner`.
+    accounted_units: Vec<u64>,
+}
+
+impl std::fmt::Debug for ReplicaSelector<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaSelector")
+            .field("inner", &self.inner)
+            .field("sync_interval", &self.sync_interval)
+            .finish()
+    }
+}
+
+impl<'t> ReplicaSelector<'t> {
+    /// Create the replica for `shard_id`.
+    ///
+    /// Shard 0 keeps the configured RNG seed unchanged — with a single
+    /// shard the replica reproduces the centralized selector bit for bit.
+    /// Other shards decorrelate their exploration streams by folding the
+    /// shard id into the seed (identical streams would explore the same
+    /// arms in lock-step, wasting the fleet's exploration budget).
+    pub fn new(
+        arms: Vec<CodecId>,
+        config: SelectorConfig,
+        shard_id: usize,
+        table: &'t SharedOutcomeTable,
+        sync_interval: usize,
+    ) -> Self {
+        assert_eq!(arms.len(), table.n_arms(), "table/roster arm mismatch");
+        let mut config = config;
+        config.seed ^= (shard_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let n = arms.len();
+        Self {
+            inner: LosslessSelector::new(arms, config),
+            table,
+            sync_interval: sync_interval.max(1),
+            decisions_since_sync: 0,
+            accounted_pulls: vec![0; n],
+            accounted_units: vec![0; n],
+        }
+    }
+
+    /// The configured decisions-per-fold interval.
+    pub fn sync_interval(&self) -> usize {
+        self.sync_interval
+    }
+
+    /// The local selector state (estimates, pulls, quarantine — for
+    /// reports and the equivalence tests).
+    pub fn local(&self) -> &LosslessSelector {
+        &self.inner
+    }
+
+    /// Pick an arm from the local replica. Lock-free: no shared state is
+    /// touched at all.
+    pub fn select_arm(&mut self) -> (usize, CodecId) {
+        self.inner.select_arm()
+    }
+
+    /// Report one batch of outcomes for `arm`: apply them to the local
+    /// replica with exactly the centralized arithmetic, publish the delta
+    /// to the shared table (two `fetch_add`s per batch plus one per
+    /// failure), and fold foreign deltas if the sync interval elapsed.
+    ///
+    /// Counts as **one decision** toward the sync interval, matching the
+    /// one `select_arm` call that produced the batch.
+    pub fn report_batch(&mut self, arm: usize, outcomes: &[ArmOutcome]) {
+        let mut batch_pulls = 0u64;
+        let mut batch_units = 0u64;
+        for &outcome in outcomes {
+            match outcome {
+                ArmOutcome::Ratio(ratio) => {
+                    let reward = self.inner.report_ratio(arm, ratio);
+                    batch_pulls += 1;
+                    batch_units += to_units(reward);
+                }
+                ArmOutcome::Failure => {
+                    let was = self.inner.is_quarantined(arm);
+                    let now = self.inner.record_failure(arm);
+                    self.table.record_failure(arm);
+                    if now && !was {
+                        self.table.quarantine(arm);
+                    }
+                }
+            }
+        }
+        self.accounted_pulls[arm] += batch_pulls;
+        self.accounted_units[arm] += batch_units;
+        self.table.publish(arm, batch_pulls, batch_units);
+        self.decisions_since_sync += 1;
+        if self.decisions_since_sync >= self.sync_interval {
+            self.sync();
+        }
+    }
+
+    /// Fold all foreign deltas (outcomes other shards published since the
+    /// last sync) into the local replica, and impose any quarantine
+    /// verdicts from the table. Allocation-free; O(arms).
+    pub fn sync(&mut self) {
+        self.decisions_since_sync = 0;
+        for arm in 0..self.accounted_pulls.len() {
+            let g_pulls = self.table.arms[arm].pulls.load(Ordering::Acquire);
+            let g_units = self.table.arms[arm].reward_units.load(Ordering::Relaxed);
+            let dp = g_pulls - self.accounted_pulls[arm];
+            if dp == 0 {
+                continue;
+            }
+            // Clamp the unit delta to `dp` whole rewards: a concurrently
+            // publishing shard may have its reward units visible before
+            // the matching pull count (units are added first). The excess
+            // stays unaccounted and is folded by the next sync, once its
+            // pull is visible too.
+            let du = g_units.saturating_sub(self.accounted_units[arm]);
+            let cap = ((dp as u128) << 32).min(u64::MAX as u128) as u64;
+            let du = du.min(cap);
+            self.inner.fold_foreign(arm, dp, du as f64 / REWARD_UNIT);
+            self.accounted_pulls[arm] = g_pulls;
+            self.accounted_units[arm] += du;
+        }
+        let bits = self.table.quarantine_bits();
+        if bits != 0 {
+            for arm in 0..self.accounted_pulls.len() {
+                if bits & (1u64 << arm) != 0 {
+                    self.inner.quarantine_arm(arm);
+                }
+            }
+        }
+        self.table.syncs.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaedge_codecs::CodecRegistry;
+
+    fn arms() -> Vec<CodecId> {
+        CodecRegistry::lossless_candidates()
+    }
+
+    fn config(seed: u64) -> SelectorConfig {
+        SelectorConfig {
+            epsilon: 0.1,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn single_shard_replica_is_bit_identical_to_centralized() {
+        let table = SharedOutcomeTable::new(arms().len());
+        let mut replica = ReplicaSelector::new(arms(), config(9), 0, &table, 1);
+        let mut central = LosslessSelector::new(arms(), config(9));
+        for step in 0..200u64 {
+            let (arm_r, codec_r) = replica.select_arm();
+            let (arm_c, codec_c) = central.select_arm();
+            assert_eq!((arm_r, codec_r), (arm_c, codec_c), "step {step}");
+            let outcomes = [
+                ArmOutcome::Ratio((step % 7) as f64 / 10.0),
+                ArmOutcome::Ratio((step % 3) as f64 / 5.0),
+            ];
+            replica.report_batch(arm_r, &outcomes);
+            central.report_batch(arm_c, &outcomes);
+        }
+        // No foreign deltas exist, so the fold must not have perturbed
+        // anything: estimates are bit-identical, not merely close.
+        assert_eq!(replica.local().estimates(), central.estimates());
+        assert_eq!(replica.local().pulls(), central.pulls());
+        assert!(table.syncs() >= 200);
+    }
+
+    #[test]
+    fn quarantine_propagates_between_replicas_at_sync() {
+        let table = SharedOutcomeTable::new(arms().len());
+        let mut a = ReplicaSelector::new(arms(), config(1), 0, &table, 1);
+        let mut b = ReplicaSelector::new(arms(), config(1), 1, &table, 1);
+        let victim = 2usize;
+        // Shard A burns out the arm locally.
+        a.report_batch(
+            victim,
+            &[
+                ArmOutcome::Failure,
+                ArmOutcome::Failure,
+                ArmOutcome::Failure,
+            ],
+        );
+        assert!(a.local().is_quarantined(victim));
+        assert_ne!(table.quarantine_bits() & (1 << victim), 0);
+        // Shard B has seen no failures of its own, but its next sync
+        // imposes the verdict.
+        assert!(!b.local().is_quarantined(victim));
+        b.report_batch(0, &[ArmOutcome::Ratio(0.5)]);
+        assert!(b.local().is_quarantined(victim));
+        // B's failure streak for the victim stays untouched (shard-local).
+        assert_eq!(table.failure_total(), 3);
+    }
+
+    #[test]
+    fn foreign_folds_converge_to_global_posterior() {
+        let roster = arms();
+        let table = SharedOutcomeTable::new(roster.len());
+        let mut a = ReplicaSelector::new(roster.clone(), config(5), 0, &table, 1);
+        let mut b = ReplicaSelector::new(roster.clone(), config(5), 1, &table, 1);
+        // Interleave prescribed outcomes across both replicas, then
+        // compare against one centralized selector fed the same stream.
+        let mut central = LosslessSelector::new(roster, config(5));
+        let script: Vec<(usize, f64)> = (0..300)
+            .map(|i| (i % 4, ((i * 37) % 100) as f64 / 100.0))
+            .collect();
+        for (i, &(arm, ratio)) in script.iter().enumerate() {
+            let outcome = [ArmOutcome::Ratio(ratio)];
+            if i % 2 == 0 {
+                a.report_batch(arm, &outcome);
+            } else {
+                b.report_batch(arm, &outcome);
+            }
+            central.report_batch(arm, &outcome);
+        }
+        a.sync();
+        b.sync();
+        // Sample-average folds are exact up to the table's fixed-point
+        // quantization of foreign contributions.
+        for arm in 0..central.arms().len() {
+            assert_eq!(a.local().pulls()[arm], central.pulls()[arm]);
+            assert_eq!(b.local().pulls()[arm], central.pulls()[arm]);
+            assert!(
+                (a.local().estimates()[arm] - central.estimates()[arm]).abs() < 1e-6,
+                "arm {arm}: {} vs {}",
+                a.local().estimates()[arm],
+                central.estimates()[arm]
+            );
+            assert!((b.local().estimates()[arm] - central.estimates()[arm]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn resolve_threads_zero_means_available_parallelism() {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(resolve_threads(0), cores);
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn pool_bound_accounts_for_stealing_workers() {
+        // Regression for the per-shard re-derivation: with S shards, up to
+        // S workers can simultaneously hold one of a shard's batches, so
+        // the pool must exceed the naive per-shard port of the old global
+        // bound (batch_cap + 1 worker + 1 producer) by S − 1.
+        assert_eq!(shard_pool_size(1, 4), 6);
+        assert_eq!(shard_pool_size(8, 1), 10);
+        for s in 1..=8 {
+            assert!(shard_pool_size(2, s) > 2 + 1 + 1 || s == 1);
+        }
+    }
+
+    #[test]
+    fn reward_quantization_error_is_negligible() {
+        for &r in &[0.0, 1e-9, 0.123456789, 0.5, 0.999999999, 1.0] {
+            let units = to_units(r);
+            assert!((units as f64 / REWARD_UNIT - r).abs() < 1e-9, "{r}");
+        }
+    }
+}

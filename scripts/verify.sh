@@ -28,6 +28,9 @@ cargo test --release -q -p adaedge-codecs --test kernel_equivalence
 echo "==> batched scheduling equivalence (K>1 engine smoke, release)"
 cargo test --release -q -p adaedge-core --test batch_equivalence
 
+echo "==> shard equivalence + delta-sync staleness (release)"
+cargo test --release -q -p adaedge-core --test shard_equivalence
+
 echo "==> engine throughput smoke (--quick)"
 cargo run --release -q -p adaedge-bench --bin engine_throughput -- --quick
 
