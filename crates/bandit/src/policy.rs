@@ -57,6 +57,22 @@ pub trait Policy: Send {
         }
     }
 
+    /// Overwrite `arm`'s posterior with a persisted `(pulls, estimate)`
+    /// pair, replacing whatever state the arm held.
+    ///
+    /// This is the persist-*restore* primitive for evicted fleet streams:
+    /// a stream's selector is summarized as per-arm pull counts and value
+    /// estimates at eviction, and a fresh policy is rebuilt from those
+    /// numbers at re-admission. Estimate-based policies (ε-greedy, UCB)
+    /// override this with a direct overwrite, which round-trips **bit
+    /// exactly**. The default reconstructs the equivalent reward mass and
+    /// folds it in — exact for sample averages up to the `estimate·pulls`
+    /// rounding, a mean-field approximation for order-sensitive policies
+    /// (a gradient bandit's preferences are not recoverable from means).
+    fn restore(&mut self, arm: usize, pulls: u64, estimate: f64) {
+        self.fold(arm, pulls, estimate * pulls as f64);
+    }
+
     /// Current value estimates per arm (for introspection and tests).
     fn estimates(&self) -> &[f64];
 
@@ -82,6 +98,10 @@ impl Policy for Box<dyn Policy> {
 
     fn fold(&mut self, arm: usize, pulls: u64, reward_sum: f64) {
         (**self).fold(arm, pulls, reward_sum)
+    }
+
+    fn restore(&mut self, arm: usize, pulls: u64, estimate: f64) {
+        (**self).restore(arm, pulls, estimate)
     }
 
     fn estimates(&self) -> &[f64] {

@@ -76,6 +76,14 @@ impl Policy for Ucb {
         };
     }
 
+    fn restore(&mut self, arm: usize, pulls: u64, estimate: f64) {
+        // UCB state is (pulls, estimate) plus the total the confidence
+        // bonus divides by; all three restore exactly by overwrite.
+        self.total = self.total - self.n[arm] + pulls;
+        self.n[arm] = pulls;
+        self.q[arm] = estimate;
+    }
+
     fn estimates(&self) -> &[f64] {
         &self.q
     }

@@ -27,7 +27,9 @@
 
 use crate::error::{AdaEdgeError, Result};
 use crate::selector::{ArmOutcome, SelectorConfig};
-use crate::shard::{resolve_threads, shard_pool_size, ReplicaSelector, SharedOutcomeTable};
+use crate::shard::{
+    resolve_threads, shard_pool_size, ReplicaSelector, SharedOutcomeTable, WorkGate,
+};
 use adaedge_codecs::{CodecId, CodecRegistry, CodecScratch};
 use adaedge_datasets::SegmentSource;
 use crossbeam::channel::{self, TryRecvError};
@@ -136,63 +138,70 @@ fn fill_batch(source: &mut dyn SegmentSource, batch: &mut SegmentBatch, remainin
     }
 }
 
-/// Receive the next batch for the worker of shard `me`: its own queue
-/// first, then a steal sweep over foreign queues, then a short blocking
-/// wait before rescanning. Returns `None` once every queue is
-/// disconnected and drained. `open` tracks queues not yet known dead.
-fn recv_or_steal(
+/// One non-blocking sweep for the worker of shard `me`: its own queue
+/// first, then a steal pass over foreign queues, starting just past its
+/// own shard so contending stealers fan out over different victims.
+/// `open` tracks queues not yet known dead.
+fn try_take(
     me: usize,
     rxs: &[channel::Receiver<SegmentBatch>],
     open: &mut [bool],
     table: &SharedOutcomeTable,
 ) -> Option<SegmentBatch> {
-    loop {
-        // Fast path: the shard's own queue.
-        if open[me] {
-            match rxs[me].try_recv() {
-                Ok(b) => return Some(b),
-                Err(TryRecvError::Empty) => {}
-                Err(TryRecvError::Disconnected) => open[me] = false,
-            }
+    for off in 0..rxs.len() {
+        let j = (me + off) % rxs.len();
+        if !open[j] {
+            continue;
         }
-        // Steal sweep, starting just past our own shard so contending
-        // stealers fan out over different victims.
-        for off in 1..rxs.len() {
-            let j = (me + off) % rxs.len();
-            if !open[j] {
-                continue;
-            }
-            match rxs[j].try_recv() {
-                Ok(b) => {
-                    table.count_steal();
-                    return Some(b);
-                }
-                Err(TryRecvError::Empty) => {}
-                Err(TryRecvError::Disconnected) => open[j] = false,
-            }
-        }
-        if !open.iter().any(|&o| o) {
-            return None;
-        }
-        // Everything open is momentarily empty: block briefly on our own
-        // queue (or any surviving one) and rescan. The timeout bounds how
-        // long a worker sleeps through a batch that landed on a foreign
-        // queue after its sweep passed it.
-        let wait = if open[me] {
-            me
-        } else {
-            open.iter().position(|&o| o).expect("checked above")
-        };
-        match rxs[wait].recv_timeout(Duration::from_millis(1)) {
+        match rxs[j].try_recv() {
             Ok(b) => {
-                if wait != me {
+                if j != me {
                     table.count_steal();
                 }
                 return Some(b);
             }
-            Err(channel::RecvTimeoutError::Timeout) => {}
-            Err(channel::RecvTimeoutError::Disconnected) => open[wait] = false,
+            Err(TryRecvError::Empty) => {}
+            Err(TryRecvError::Disconnected) => open[j] = false,
         }
+    }
+    None
+}
+
+/// Receive the next batch for the worker of shard `me`: a non-blocking
+/// sweep over every queue, then a parked wait on `gate` that any enqueue
+/// ends immediately — no worker ever sleeps through an arrival on a
+/// foreign queue (the old scheme blocked on one queue with a 1 ms rescan
+/// timeout, adding up to a millisecond of latency per stolen batch).
+/// Returns `None` once every queue is disconnected and drained.
+fn recv_or_steal(
+    me: usize,
+    rxs: &[channel::Receiver<SegmentBatch>],
+    open: &mut [bool],
+    table: &SharedOutcomeTable,
+    gate: &WorkGate,
+) -> Option<SegmentBatch> {
+    loop {
+        if let Some(b) = try_take(me, rxs, open, table) {
+            return Some(b);
+        }
+        if !open.iter().any(|&o| o) {
+            return None;
+        }
+        // Everything open is momentarily empty. Register as a sleeper
+        // *before* the confirmation sweep: an enqueue that lands after the
+        // sweep either sees the registration (and notifies) or bumps the
+        // epoch before `park` re-checks it — no arrival can slip through.
+        gate.register_sleeper();
+        let ticket = gate.epoch();
+        if let Some(b) = try_take(me, rxs, open, table) {
+            gate.cancel_park();
+            return Some(b);
+        }
+        if !open.iter().any(|&o| o) {
+            gate.cancel_park();
+            return None;
+        }
+        gate.park(ticket);
     }
 }
 
@@ -288,6 +297,7 @@ pub fn run_pipeline(
     let batch_cap = buffer_cap.div_ceil(k).div_ceil(n_shards).max(2);
     let pool = shard_pool_size(batch_cap, n_shards);
     let table = SharedOutcomeTable::new(config.lossless_arms.len());
+    let gate = WorkGate::new();
 
     let mut txs = Vec::with_capacity(n_shards);
     let mut rxs = Vec::with_capacity(n_shards);
@@ -315,6 +325,7 @@ pub fn run_pipeline(
             let all_recycle_txs = recycle_txs.to_vec();
             let reg = &reg;
             let table = &table;
+            let gate = &gate;
             let bytes_out = &bytes_out;
             let arms = config.lossless_arms.clone();
             let selector_config = config.selector;
@@ -325,7 +336,7 @@ pub fn run_pipeline(
                 let mut local_counts: HashMap<CodecId, u64> = HashMap::new();
                 let mut outcomes: Vec<ArmOutcome> = Vec::with_capacity(k);
                 let mut open = vec![true; n_shards];
-                while let Some(batch) = recv_or_steal(me, &all_rxs, &mut open, table) {
+                while let Some(batch) = recv_or_steal(me, &all_rxs, &mut open, table, gate) {
                     // One lock-free decision per batch, arm held sticky;
                     // outcomes accumulate locally and publish as one
                     // atomic delta.
@@ -391,18 +402,21 @@ pub fn run_pipeline(
             remaining -= batch.segs.len();
             let home = batch.home;
             match txs[home].try_send(batch) {
-                Ok(()) => {}
+                Ok(()) => gate.notify(),
                 Err(channel::TrySendError::Full(batch)) => {
                     spills.fetch_add(batch.segs.len() as u64, Ordering::Relaxed);
                     if txs[home].send(batch).is_err() {
                         break;
                     }
+                    gate.notify();
                 }
                 Err(channel::TrySendError::Disconnected(_)) => break,
             }
         }
         drop(txs);
         drop(recycle_rxs);
+        // Wake any parked worker so it observes the disconnected queues.
+        gate.notify();
 
         // Join every worker before deciding the outcome so a single dead
         // thread cannot leave the scope with unjoined panics.
@@ -571,6 +585,7 @@ pub fn run_offline_pipeline(
     // Same per-shard recycle pools as `run_pipeline`.
     let pool = shard_pool_size(batch_cap, n_shards);
     let table = SharedOutcomeTable::new(config.lossless_arms.len());
+    let gate = WorkGate::new();
     let mut txs = Vec::with_capacity(n_shards);
     let mut rxs = Vec::with_capacity(n_shards);
     let mut recycle_txs = Vec::with_capacity(n_shards);
@@ -698,6 +713,7 @@ pub fn run_offline_pipeline(
             let all_recycle_txs = recycle_txs.to_vec();
             let reg = &reg;
             let table = &table;
+            let gate = &gate;
             let store = &store;
             let store_cv = &store_cv;
             let drops = &drops;
@@ -710,7 +726,7 @@ pub fn run_offline_pipeline(
                 let mut outcomes: Vec<ArmOutcome> = Vec::with_capacity(k);
                 let mut blocks = Vec::with_capacity(k);
                 let mut open = vec![true; n_shards];
-                while let Some(batch) = recv_or_steal(me, &all_rxs, &mut open, table) {
+                while let Some(batch) = recv_or_steal(me, &all_rxs, &mut open, table, gate) {
                     // One lock-free decision per batch (arm held sticky),
                     // one replica report, then the store puts.
                     let (arm, codec) = replica.select_arm();
@@ -791,9 +807,12 @@ pub fn run_offline_pipeline(
             if txs[home].send(batch).is_err() {
                 break;
             }
+            gate.notify();
         }
         drop(txs);
         drop(recycle_rxs);
+        // Wake any parked worker so it observes the disconnected queues.
+        gate.notify();
         // Join everything before deciding the outcome so the scope never
         // exits with an unjoined panicked thread.
         let mut lost_worker = false;

@@ -1,0 +1,423 @@
+//! Priority-aware packing of compressed segments into bounded transport
+//! frames (the fleet's egress stage).
+//!
+//! Edge uplinks are framed: LoRaWAN caps application payloads at a few
+//! hundred bytes, MQTT brokers and radio modems at a few KiB. A gateway
+//! multiplexing thousands of streams therefore doesn't ship segments — it
+//! ships **frames**, each packed with fragments from whichever streams'
+//! segments matter most right now. Following the semantic-compression
+//! argument (Burago et al.: not all data is equally valuable at the
+//! moment of transmission), pending segments are ordered by **priority
+//! class first, ingest deadline second**: a `Critical` stream's segment
+//! preempts any amount of `Bulk` backlog, and within a class the oldest
+//! segment ships first, so no stream's data starves behind a same-class
+//! firehose.
+//!
+//! The packer is an online algorithm with bounded state: segments arrive
+//! as [`FrameItem`] descriptors, sit in a binary heap keyed by
+//! `(priority, seq)`, and leave as [`TransportFrame`]s that are **never**
+//! larger than the configured cap — segments bigger than a frame are
+//! fragmented, and a fragmented segment's remainder re-enters the heap
+//! with its original key, so a higher-priority arrival preempts it at the
+//! next frame boundary (fragment trains are interleavable, as in LoRaWAN
+//! fragmented data-block transport). Per-stream byte accounting is kept
+//! at fragment granularity for egress-budget rollups.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Identifies one tenant stream within a fleet.
+pub type StreamId = u64;
+
+/// Transmission priority class, highest first. Order is total: a lower
+/// discriminant always ships before a higher one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Alarm/anomaly channels: ship before everything else.
+    Critical = 0,
+    /// Operationally important telemetry.
+    High = 1,
+    /// Routine measurements (the default).
+    Normal = 2,
+    /// Backfill and archival replication: ship only when nothing else
+    /// is pending.
+    Bulk = 3,
+}
+
+impl Priority {
+    /// All classes, highest first (for per-class rollups).
+    pub const ALL: [Priority; 4] = [
+        Priority::Critical,
+        Priority::High,
+        Priority::Normal,
+        Priority::Bulk,
+    ];
+}
+
+/// Frame-packing configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameConfig {
+    /// Hard cap on a frame's payload bytes, headers included. No emitted
+    /// frame ever exceeds this.
+    pub payload_cap: usize,
+    /// Per-fragment framing overhead inside a frame (stream id, sequence,
+    /// offset, length — enough for the receiver to reassemble).
+    pub fragment_overhead: usize,
+}
+
+impl Default for FrameConfig {
+    fn default() -> Self {
+        Self {
+            // An MTU-ish radio/UDP budget; LoRaWAN profiles configure
+            // this down to ~200, MQTT up into the KiBs.
+            payload_cap: 1200,
+            fragment_overhead: 12,
+        }
+    }
+}
+
+/// One compressed segment awaiting egress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameItem {
+    /// Originating stream.
+    pub stream: StreamId,
+    /// The stream's transmission class.
+    pub priority: Priority,
+    /// Fleet-wide ingest sequence number — the deadline proxy: within a
+    /// priority class, lower `seq` ships first.
+    pub seq: u64,
+    /// Compressed payload size in bytes.
+    pub len: usize,
+}
+
+/// Heap key: priority class, then deadline, then stream/offset for a
+/// total deterministic order. Wrapped in `Reverse` so the smallest key
+/// (most urgent) pops first from `BinaryHeap`'s max-heap.
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Pending {
+    priority: Priority,
+    seq: u64,
+    stream: StreamId,
+    /// Bytes of this segment already shipped in earlier frames.
+    offset: usize,
+    len: usize,
+}
+
+/// One fragment placed in a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fragment {
+    /// Originating stream.
+    pub stream: StreamId,
+    /// The segment's ingest sequence number.
+    pub seq: u64,
+    /// Byte offset of this fragment within the segment's payload.
+    pub offset: usize,
+    /// Fragment payload bytes (excluding framing overhead).
+    pub len: usize,
+    /// Whether this fragment completes its segment.
+    pub last: bool,
+}
+
+/// A packed transport frame, guaranteed `used <= payload_cap`.
+#[derive(Debug, Clone)]
+pub struct TransportFrame {
+    /// Total payload bytes consumed, fragment overheads included.
+    pub used: usize,
+    /// The fragments packed into this frame, in ship order.
+    pub fragments: Vec<Fragment>,
+}
+
+/// Per-stream egress accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamEgress {
+    /// Segment payload bytes shipped for this stream (overheads excluded).
+    pub payload_bytes: u64,
+    /// Segments fully shipped.
+    pub segments: u64,
+    /// Fragments shipped (≥ `segments`; the fragmentation amplification).
+    pub fragments: u64,
+}
+
+/// The online priority-then-deadline frame packer.
+#[derive(Debug)]
+pub struct FramePacker {
+    config: FrameConfig,
+    heap: BinaryHeap<Reverse<Pending>>,
+    /// Payload bytes pending (fragment overheads not included).
+    pending_bytes: usize,
+    per_stream: HashMap<StreamId, StreamEgress>,
+    frames_emitted: u64,
+    bytes_emitted: u64,
+    max_frame_used: usize,
+}
+
+impl FramePacker {
+    /// Create a packer. The cap must leave room for at least one byte of
+    /// payload beyond a fragment header.
+    pub fn new(config: FrameConfig) -> Self {
+        assert!(
+            config.payload_cap > config.fragment_overhead,
+            "payload cap must exceed the per-fragment overhead"
+        );
+        Self {
+            config,
+            heap: BinaryHeap::new(),
+            pending_bytes: 0,
+            per_stream: HashMap::new(),
+            frames_emitted: 0,
+            bytes_emitted: 0,
+            max_frame_used: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> FrameConfig {
+        self.config
+    }
+
+    /// Enqueue a compressed segment for egress. Zero-length segments are
+    /// accepted (a fully predicted segment can compress to an empty
+    /// payload) and ship as a header-only fragment.
+    pub fn push(&mut self, item: FrameItem) {
+        self.pending_bytes += item.len;
+        self.heap.push(Reverse(Pending {
+            priority: item.priority,
+            seq: item.seq,
+            stream: item.stream,
+            offset: 0,
+            len: item.len,
+        }));
+    }
+
+    /// Segments (or segment remainders) waiting to ship.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Payload bytes waiting to ship (fragment overheads excluded).
+    pub fn pending_bytes(&self) -> usize {
+        self.pending_bytes
+    }
+
+    /// Whether enough data is buffered to fill a frame to the cap, i.e.
+    /// [`Self::next_frame`] would emit a *full* frame. Streaming callers
+    /// pack while this holds and leave the remainder to [`Self::flush`].
+    pub fn frame_ready(&self) -> bool {
+        // Conservative: assume every pending segment costs one overhead
+        // (fragmentation only adds more).
+        self.pending_bytes + self.heap.len() * self.config.fragment_overhead
+            >= self.config.payload_cap
+    }
+
+    /// Pack the most urgent pending data into one frame, or `None` if
+    /// nothing is pending. The frame is filled greedily in priority-then-
+    /// deadline order, fragmenting the tail segment when it doesn't fit;
+    /// the remainder re-enters the queue under its original key so a
+    /// later, more urgent arrival preempts it at the next frame boundary.
+    pub fn next_frame(&mut self) -> Option<TransportFrame> {
+        let cap = self.config.payload_cap;
+        let overhead = self.config.fragment_overhead;
+        let mut frame = TransportFrame {
+            used: 0,
+            fragments: Vec::new(),
+        };
+        while let Some(Reverse(head)) = self.heap.peek() {
+            let room = cap - frame.used;
+            if room <= overhead {
+                break; // not even a header fits
+            }
+            let take = (head.len - head.offset).min(room - overhead);
+            // A zero-length take is only allowed for the empty-payload
+            // segment itself; otherwise the fragment would make no
+            // progress and the packer would spin.
+            if take == 0 && head.len != 0 {
+                break;
+            }
+            let Reverse(mut head) = self.heap.pop().expect("peeked above");
+            let last = head.offset + take == head.len;
+            frame.fragments.push(Fragment {
+                stream: head.stream,
+                seq: head.seq,
+                offset: head.offset,
+                len: take,
+                last,
+            });
+            frame.used += overhead + take;
+            self.pending_bytes -= take;
+            let acct = self.per_stream.entry(head.stream).or_default();
+            acct.payload_bytes += take as u64;
+            acct.fragments += 1;
+            if last {
+                acct.segments += 1;
+            } else {
+                head.offset += take;
+                self.heap.push(Reverse(head));
+                break; // frame is full (the fragment was truncated to fit)
+            }
+        }
+        if frame.fragments.is_empty() {
+            return None;
+        }
+        debug_assert!(frame.used <= cap, "frame over cap: {} > {cap}", frame.used);
+        self.frames_emitted += 1;
+        self.bytes_emitted += frame.used as u64;
+        self.max_frame_used = self.max_frame_used.max(frame.used);
+        Some(frame)
+    }
+
+    /// Drain everything pending into frames, including a final partial
+    /// frame (end of run, or a transmit-deadline tick).
+    pub fn flush(&mut self) -> Vec<TransportFrame> {
+        let mut out = Vec::new();
+        while let Some(frame) = self.next_frame() {
+            out.push(frame);
+        }
+        out
+    }
+
+    /// Per-stream egress totals (payload bytes, whole segments, fragments).
+    pub fn stream_egress(&self) -> &HashMap<StreamId, StreamEgress> {
+        &self.per_stream
+    }
+
+    /// Frames emitted so far.
+    pub fn frames_emitted(&self) -> u64 {
+        self.frames_emitted
+    }
+
+    /// Total frame bytes emitted (payload + fragment overheads).
+    pub fn bytes_emitted(&self) -> u64 {
+        self.bytes_emitted
+    }
+
+    /// The largest `used` of any emitted frame — by construction never
+    /// above the cap, and reported so callers can assert exactly that.
+    pub fn max_frame_used(&self) -> usize {
+        self.max_frame_used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packer(cap: usize, overhead: usize) -> FramePacker {
+        FramePacker::new(FrameConfig {
+            payload_cap: cap,
+            fragment_overhead: overhead,
+        })
+    }
+
+    fn item(stream: StreamId, priority: Priority, seq: u64, len: usize) -> FrameItem {
+        FrameItem {
+            stream,
+            priority,
+            seq,
+            len,
+        }
+    }
+
+    #[test]
+    fn packs_in_priority_then_deadline_order() {
+        let mut p = packer(100, 4);
+        p.push(item(1, Priority::Bulk, 0, 10));
+        p.push(item(2, Priority::Normal, 5, 10));
+        p.push(item(3, Priority::Critical, 9, 10));
+        p.push(item(4, Priority::Normal, 2, 10));
+        let frame = p.next_frame().unwrap();
+        let order: Vec<StreamId> = frame.fragments.iter().map(|f| f.stream).collect();
+        // Critical first, then Normal by seq (2 before 5), Bulk last.
+        assert_eq!(order, vec![3, 4, 2, 1]);
+    }
+
+    #[test]
+    fn never_exceeds_cap_and_fragments_oversize_segments() {
+        let mut p = packer(64, 8);
+        p.push(item(7, Priority::Normal, 0, 300)); // ~6 frames worth
+        let frames = p.flush();
+        assert!(frames.len() > 1);
+        let mut total = 0;
+        for f in &frames {
+            assert!(f.used <= 64, "frame over cap: {}", f.used);
+            total += f.fragments.iter().map(|fr| fr.len).sum::<usize>();
+        }
+        assert_eq!(total, 300);
+        // Exactly one fragment carries `last`.
+        let lasts: Vec<_> = frames
+            .iter()
+            .flat_map(|f| &f.fragments)
+            .filter(|fr| fr.last)
+            .collect();
+        assert_eq!(lasts.len(), 1);
+        assert_eq!(p.max_frame_used(), 64);
+        assert_eq!(p.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn critical_arrival_preempts_fragment_train_at_frame_boundary() {
+        let mut p = packer(64, 8);
+        p.push(item(1, Priority::Bulk, 0, 500));
+        let first = p.next_frame().unwrap();
+        assert_eq!(first.fragments[0].stream, 1);
+        // A critical segment lands mid-train.
+        p.push(item(2, Priority::Critical, 99, 10));
+        let second = p.next_frame().unwrap();
+        assert_eq!(second.fragments[0].stream, 2, "critical must preempt");
+        // The bulk remainder resumes afterwards (it may share the critical
+        // frame or start the next one) and every byte still ships.
+        let mut frames = vec![first, second];
+        frames.extend(p.flush());
+        let shipped: usize = frames
+            .iter()
+            .flat_map(|f| &f.fragments)
+            .filter(|f| f.stream == 1)
+            .map(|f| f.len)
+            .sum();
+        assert_eq!(shipped, 500);
+    }
+
+    #[test]
+    fn per_stream_accounting_sums_to_pushed_bytes() {
+        let mut p = packer(128, 6);
+        p.push(item(1, Priority::Normal, 0, 333));
+        p.push(item(2, Priority::High, 1, 90));
+        p.push(item(1, Priority::Normal, 2, 45));
+        p.flush();
+        let acct = p.stream_egress();
+        assert_eq!(acct[&1].payload_bytes, 378);
+        assert_eq!(acct[&1].segments, 2);
+        assert_eq!(acct[&2].payload_bytes, 90);
+        assert_eq!(acct[&2].segments, 1);
+        assert!(acct[&1].fragments >= 2);
+    }
+
+    #[test]
+    fn empty_payload_segment_ships_as_header_only_fragment() {
+        let mut p = packer(32, 8);
+        p.push(item(5, Priority::Normal, 0, 0));
+        let frames = p.flush();
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].fragments.len(), 1);
+        assert_eq!(frames[0].fragments[0].len, 0);
+        assert!(frames[0].fragments[0].last);
+        assert_eq!(frames[0].used, 8);
+        assert_eq!(p.stream_egress()[&5].segments, 1);
+    }
+
+    #[test]
+    fn frame_ready_gates_streaming_emission() {
+        let mut p = packer(100, 4);
+        p.push(item(1, Priority::Normal, 0, 40));
+        assert!(!p.frame_ready());
+        p.push(item(1, Priority::Normal, 1, 80));
+        assert!(p.frame_ready());
+        let f = p.next_frame().unwrap();
+        assert!(f.used <= 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload cap")]
+    fn cap_smaller_than_overhead_rejected() {
+        packer(4, 8);
+    }
+}

@@ -15,12 +15,18 @@
 //! * [`engine`] — the multithreaded ingest/compress/recode runtime.
 //! * [`shard`] — per-shard selector replicas and the delta-sync outcome
 //!   table behind the engine's lock-free hot path.
+//! * [`fleet`] — the multi-tenant gateway: thousands of independent
+//!   streams multiplexed over the shared sharded workers.
+//! * [`frame`] — priority-aware packing of compressed segments into
+//!   bounded transport frames.
 #![warn(missing_docs)]
 
 pub mod baselines;
 pub mod constraints;
 pub mod engine;
 pub mod error;
+pub mod fleet;
+pub mod frame;
 pub mod offline;
 pub mod online;
 pub mod query;
@@ -30,6 +36,8 @@ pub mod targets;
 
 pub use constraints::{Constraints, NetworkProfile};
 pub use error::{AdaEdgeError, Result};
+pub use fleet::{run_fleet, FleetConfig, FleetReport, StreamReport, StreamSpec};
+pub use frame::{FrameConfig, FrameItem, FramePacker, Priority, TransportFrame};
 pub use offline::{IngestReport, OfflineAdaEdge, OfflineConfig, PolicyKind};
 pub use online::{OnlineAdaEdge, OnlineConfig, OnlineOutcome, OnlineStats, Path};
 pub use query::AggKind;
@@ -37,5 +45,5 @@ pub use selector::{
     BandedLossySelector, BanditAlgorithm, LosslessSelector, LossySelector, Selection,
     SelectorConfig,
 };
-pub use shard::{resolve_threads, shard_pool_size, ReplicaSelector, SharedOutcomeTable};
+pub use shard::{resolve_threads, shard_pool_size, ReplicaSelector, SharedOutcomeTable, WorkGate};
 pub use targets::{OptimizationTarget, RewardEvaluator, TargetComponent};

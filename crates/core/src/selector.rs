@@ -280,6 +280,43 @@ impl LosslessSelector {
         self.mab.total_pulls()
     }
 
+    /// Restore a persisted posterior into this (fresh) selector: per-arm
+    /// pull counts and estimates via [`adaedge_bandit::Policy::restore`]
+    /// (bit-exact for the estimate-based policies), cumulative failure
+    /// totals, and quarantine verdicts from `quarantine_bits` (bit `i` =
+    /// arm `i`, the [`crate::shard::SharedOutcomeTable`] convention).
+    ///
+    /// Consecutive-failure *streaks* are deliberately not part of the
+    /// persisted state: they are a live signal about the data a selector
+    /// is currently seeing, meaningless after an eviction gap.
+    pub fn restore_posterior(
+        &mut self,
+        pulls: &[u64],
+        estimates: &[f64],
+        failure_totals: &[u64],
+        quarantine_bits: u64,
+    ) {
+        assert_eq!(pulls.len(), self.arms.len(), "posterior/roster mismatch");
+        assert_eq!(estimates.len(), self.arms.len());
+        assert_eq!(failure_totals.len(), self.arms.len());
+        for arm in 0..self.arms.len() {
+            self.mab.restore(arm, pulls[arm], estimates[arm]);
+            self.failure_totals[arm] = failure_totals[arm];
+            if quarantine_bits & (1u64 << arm) != 0 {
+                self.quarantine_arm(arm);
+            }
+        }
+    }
+
+    /// Quarantine verdicts as a bitmask (bit `i` = arm `i`), the form the
+    /// persist layer and the shared outcome table both use.
+    pub fn quarantine_bits(&self) -> u64 {
+        self.quarantined
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &q)| acc | ((q as u64) << i))
+    }
+
     /// Whether `arm` is currently quarantined.
     pub fn is_quarantined(&self, arm: usize) -> bool {
         self.quarantined[arm]

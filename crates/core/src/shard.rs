@@ -30,7 +30,9 @@
 
 use crate::selector::{ArmOutcome, LosslessSelector, SelectorConfig};
 use adaedge_codecs::CodecId;
-use std::sync::atomic::{AtomicU64, Ordering};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
 
 /// Fixed-point scale for reward sums in the shared table: rewards lie in
 /// `[0, 1]`, so 2³² units per unit reward keeps published sums exact to
@@ -72,6 +74,94 @@ pub fn resolve_threads(requested: usize) -> usize {
 /// `n_shards − 1` batches stealing can strand in foreign workers' hands.
 pub fn shard_pool_size(batch_cap: usize, n_shards: usize) -> usize {
     batch_cap + n_shards + 1
+}
+
+/// A parked-wake rendezvous between queue producers and sweeping
+/// consumers, replacing the old fixed 1 ms steal-backoff sleep.
+///
+/// The work-stealing loop's problem: a worker that sweeps every shard
+/// queue, finds them all momentarily empty and blocks on *one* queue's
+/// condvar sleeps through a batch that lands on any *other* queue —
+/// with the old `recv_timeout(1ms)` rescan, up to a millisecond per
+/// arrival (the tuning item flagged in ROADMAP). The gate gives sweepers
+/// one place to park that **every** enqueue wakes:
+///
+/// * A producer calls [`WorkGate::notify`] after each enqueue: one
+///   `fetch_add` on the epoch plus a sleeper check — it takes the mutex
+///   only when somebody is actually parked, so the hot path with busy
+///   workers costs two uncontended atomics.
+/// * A consumer snapshots [`WorkGate::epoch`], registers as a sleeper,
+///   re-sweeps the queues, and only then parks via [`WorkGate::park`],
+///   which re-checks the epoch under the gate lock before sleeping.
+///
+/// The sleeper registration *precedes* the final re-sweep and the
+/// producer bumps the epoch *before* checking for sleepers, so every
+/// interleaving either lets the consumer find the batch in its re-sweep
+/// or leaves the epoch visibly changed when it tries to park — there is
+/// no window where an enqueue slips between sweep and sleep unnoticed.
+/// A coarse safety timeout (50 ms) bounds the damage of any future
+/// protocol regression without ever being load-bearing.
+#[derive(Debug, Default)]
+pub struct WorkGate {
+    /// Bumped by every enqueue; consumers park against a snapshot of it.
+    epoch: AtomicU64,
+    /// Consumers currently between registration and wake.
+    sleepers: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+/// Safety net for [`WorkGate::park`]: never load-bearing (the epoch
+/// protocol guarantees wakeups), only bounding a hypothetical regression.
+const PARK_SAFETY_TIMEOUT: Duration = Duration::from_millis(50);
+
+impl WorkGate {
+    /// Create an idle gate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current epoch; take a snapshot *before* sweeping the queues, then
+    /// hand it to [`WorkGate::park`] if the sweep came up empty.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Announce intent to park. Must be called *before* the final
+    /// pre-park queue sweep so a concurrent [`WorkGate::notify`] is
+    /// guaranteed to see the sleeper; pair with [`WorkGate::park`] or
+    /// [`WorkGate::cancel_park`].
+    pub fn register_sleeper(&self) {
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Withdraw a [`WorkGate::register_sleeper`] after the re-sweep found
+    /// work (no park happened).
+    pub fn cancel_park(&self) {
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Park until the epoch moves past `ticket` (an enqueue happened since
+    /// the snapshot) or the safety timeout lapses. The caller must have
+    /// registered as a sleeper first; the registration is consumed.
+    pub fn park(&self, ticket: u64) {
+        let mut guard = self.lock.lock();
+        if self.epoch.load(Ordering::SeqCst) == ticket {
+            self.cv.wait_for(&mut guard, PARK_SAFETY_TIMEOUT);
+        }
+        drop(guard);
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Signal that work was enqueued (or that the pipeline is shutting
+    /// down and parked consumers should re-check their queues).
+    pub fn notify(&self) {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.lock.lock();
+            self.cv.notify_all();
+        }
+    }
 }
 
 /// One arm's shared accumulators.
@@ -485,6 +575,46 @@ mod tests {
         for s in 1..=8 {
             assert!(shard_pool_size(2, s) > 2 + 1 + 1 || s == 1);
         }
+    }
+
+    #[test]
+    fn work_gate_wakes_parked_consumer_on_notify() {
+        let gate = WorkGate::new();
+        let start = std::time::Instant::now();
+        std::thread::scope(|scope| {
+            let ticket = gate.epoch();
+            gate.register_sleeper();
+            // (re-sweep would go here and find nothing)
+            scope.spawn(|| {
+                // Give the consumer a moment to actually park.
+                std::thread::sleep(Duration::from_millis(5));
+                gate.notify();
+            });
+            gate.park(ticket);
+        });
+        // Far below the 50 ms safety timeout: the notify woke us.
+        assert!(start.elapsed() < Duration::from_millis(45));
+    }
+
+    #[test]
+    fn work_gate_notify_between_snapshot_and_park_prevents_sleep() {
+        let gate = WorkGate::new();
+        let ticket = gate.epoch();
+        gate.register_sleeper();
+        gate.notify(); // enqueue lands after the sweep started
+        let start = std::time::Instant::now();
+        gate.park(ticket); // epoch moved: must return immediately
+        assert!(start.elapsed() < Duration::from_millis(45));
+    }
+
+    #[test]
+    fn work_gate_cancel_park_balances_sleepers() {
+        let gate = WorkGate::new();
+        gate.register_sleeper();
+        gate.cancel_park();
+        // No sleepers: notify must stay on the cheap path and not deadlock.
+        gate.notify();
+        assert_eq!(gate.epoch(), 1);
     }
 
     #[test]

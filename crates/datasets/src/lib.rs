@@ -23,5 +23,7 @@ pub mod stream;
 pub mod synthetic;
 
 pub use cbf::{CbfClass, CbfConfig, CbfGenerator};
-pub use stream::{CbfStream, CycleSource, SegmentSource, ShiftStream, SineStream};
+pub use stream::{
+    CbfStream, CycleSource, SegmentSource, SharedCycleSource, ShiftStream, SineStream,
+};
 pub use synthetic::{uci_like, ucr_like, Labeled, SyntheticConfig};

@@ -240,9 +240,73 @@ impl SegmentSource for CycleSource {
     }
 }
 
+/// Cycles through a pool of segments shared (via `Arc`) between many
+/// sources. The fleet benchmarks drive thousands of concurrent streams;
+/// giving each its own [`CycleSource`] pool would multiply the pregenerated
+/// data by the stream count, so they share one immutable pool and differ
+/// only in a starting phase — per-stream state is two `usize`s.
+#[derive(Debug, Clone)]
+pub struct SharedCycleSource {
+    segments: std::sync::Arc<Vec<Vec<f64>>>,
+    idx: usize,
+}
+
+impl SharedCycleSource {
+    /// Pre-generate a `pool` of segments from `inner` for sharing.
+    pub fn pregenerate_pool(
+        inner: &mut dyn SegmentSource,
+        pool: usize,
+    ) -> std::sync::Arc<Vec<Vec<f64>>> {
+        assert!(pool > 0);
+        std::sync::Arc::new((0..pool).map(|_| inner.next_segment()).collect())
+    }
+
+    /// Create a source over a shared pool, starting at `phase` (wrapped
+    /// into the pool) so different streams emit different subsequences.
+    pub fn new(segments: std::sync::Arc<Vec<Vec<f64>>>, phase: usize) -> Self {
+        assert!(!segments.is_empty());
+        let idx = phase % segments.len();
+        Self { segments, idx }
+    }
+}
+
+impl SegmentSource for SharedCycleSource {
+    fn segment_len(&self) -> usize {
+        self.segments[0].len()
+    }
+
+    fn next_segment(&mut self) -> Vec<f64> {
+        let seg = self.segments[self.idx].clone();
+        self.idx = (self.idx + 1) % self.segments.len();
+        seg
+    }
+
+    fn next_segment_into(&mut self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(&self.segments[self.idx]);
+        self.idx = (self.idx + 1) % self.segments.len();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shared_cycle_sources_share_one_pool() {
+        let mut inner = SineStream::new(64, 0.0, 4, 1);
+        let pool = SharedCycleSource::pregenerate_pool(&mut inner, 4);
+        let mut a = SharedCycleSource::new(pool.clone(), 0);
+        let mut b = SharedCycleSource::new(pool.clone(), 1);
+        // Phase offset: b starts one segment ahead of a.
+        let a0 = a.next_segment();
+        let a1 = a.next_segment();
+        assert_eq!(b.next_segment(), a1);
+        assert_ne!(a0, a1);
+        // Wrap-around returns to the start of the pool.
+        let mut c = SharedCycleSource::new(pool, 4);
+        assert_eq!(c.next_segment(), a0);
+    }
 
     #[test]
     fn cycle_source_repeats_pool() {

@@ -20,10 +20,12 @@
 
 pub mod persist;
 pub mod policy;
+pub mod posterior;
 pub mod segment;
 pub mod store;
 
 pub use persist::{load_segments, save_segments, PersistError};
 pub use policy::{CompressionPolicy, FifoPolicy, LruPolicy, QueryCountPolicy};
+pub use posterior::{load_posteriors, save_posteriors, StreamPosterior};
 pub use segment::{Segment, SegmentData, SegmentId};
 pub use store::{SegmentStore, StoreError};

@@ -31,7 +31,13 @@ cargo test --release -q -p adaedge-core --test batch_equivalence
 echo "==> shard equivalence + delta-sync staleness (release)"
 cargo test --release -q -p adaedge-core --test shard_equivalence
 
+echo "==> fleet equivalence (1-stream bit-identity, interleaving, evict/restore)"
+cargo test --release -q -p adaedge-core --test fleet_equivalence
+
 echo "==> engine throughput smoke (--quick)"
 cargo run --release -q -p adaedge-bench --bin engine_throughput -- --quick
+
+echo "==> fleet throughput smoke (1k streams, --quick)"
+cargo run --release -q -p adaedge-bench --bin fleet_throughput -- --quick
 
 echo "verify: OK"
