@@ -1,4 +1,5 @@
-//! Deterministic fault injection for compressed payloads.
+//! Deterministic fault injection for compressed payloads and on-disk
+//! files.
 //!
 //! The decode-fuzz harness (`tests/decode_fuzz.rs`) drives every registered
 //! codec's decoder with corrupted variants of known-good payloads. The
@@ -7,8 +8,17 @@
 //! truncation (torn writes, partial flushes) and extension (appended
 //! garbage, misframed reads). All randomness flows through a caller-seeded
 //! RNG, so every failure reproduces from its case number alone.
+//!
+//! The `file_*` primitives apply the same fault classes to files on disk
+//! — the power-loss and bit-rot model every on-disk format test (persist,
+//! posterior archive, segment spool) shares: torn tail writes, truncation
+//! at an exact offset, in-place bit flips within a byte range, and frame
+//! duplication (a replayed write).
 
 use rand::Rng;
+use std::io;
+use std::ops::Range;
+use std::path::Path;
 
 /// The fault classes [`mutate`] injects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +84,77 @@ pub fn mutate<R: Rng>(payload: &mut Vec<u8>, rng: &mut R) -> Fault {
     }
 }
 
+// --- file-level fault primitives (on-disk format fault suites) ---
+
+/// Truncate the file at `path` to exactly `offset` bytes (no-op when the
+/// file is already at or below `offset`). Models a crash captured at a
+/// precise write boundary — the deterministic workhorse of the power-loss
+/// torture suites.
+pub fn file_truncate_at(path: &Path, offset: u64) -> io::Result<()> {
+    let f = std::fs::OpenOptions::new().write(true).open(path)?;
+    if f.metadata()?.len() > offset {
+        f.set_len(offset)?;
+        f.sync_data()?;
+    }
+    Ok(())
+}
+
+/// Tear the tail off the file at `path`: truncate 1..=`max_tear` bytes
+/// from the end (never below zero length). Models a torn tail write —
+/// power loss mid-`write(2)`, where only a prefix of the final write
+/// reached the platter. Returns the new length. No-op on an empty file.
+pub fn file_torn_tail<R: Rng>(path: &Path, max_tear: u64, rng: &mut R) -> io::Result<u64> {
+    let len = std::fs::metadata(path)?.len();
+    if len == 0 || max_tear == 0 {
+        return Ok(len);
+    }
+    let tear = rng.gen_range(1..=max_tear.min(len));
+    let new_len = len - tear;
+    file_truncate_at(path, new_len)?;
+    Ok(new_len)
+}
+
+/// Flip 1..=4 random bits of the file at `path`, restricted to byte
+/// offsets in `range` (clamped to the file length). Models media bit rot
+/// localized to a region — e.g. inside one segment frame. No-op when the
+/// clamped range is empty.
+pub fn file_bit_flip_in<R: Rng>(path: &Path, range: Range<u64>, rng: &mut R) -> io::Result<()> {
+    let mut bytes = std::fs::read(path)?;
+    let lo = (range.start as usize).min(bytes.len());
+    let hi = (range.end as usize).min(bytes.len());
+    if lo >= hi {
+        return Ok(());
+    }
+    let flips = rng.gen_range(1..=4usize);
+    for _ in 0..flips {
+        let byte = rng.gen_range(lo..hi);
+        let bit = rng.gen_range(0..8u32);
+        if let Some(b) = bytes.get_mut(byte) {
+            *b ^= 1 << bit;
+        }
+    }
+    std::fs::write(path, &bytes)?;
+    Ok(())
+}
+
+/// Duplicate the byte range `start..start + len` of the file at `path`,
+/// splicing the copy in immediately after the original (everything behind
+/// it shifts back). Models a replayed/duplicated frame write — the
+/// at-least-once hazard an ACK-ledger protocol must dedup. The range is
+/// clamped to the file; a fully out-of-range request is a no-op.
+pub fn file_duplicate_range(path: &Path, start: u64, len: u64) -> io::Result<()> {
+    let mut bytes = std::fs::read(path)?;
+    let lo = (start as usize).min(bytes.len());
+    let hi = lo.saturating_add(len as usize).min(bytes.len());
+    if lo >= hi {
+        return Ok(());
+    }
+    let dup: Vec<u8> = bytes[lo..hi].to_vec();
+    bytes.splice(hi..hi, dup);
+    std::fs::write(path, &bytes)?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,5 +204,60 @@ mod tests {
         assert!(p.is_empty());
         extend(&mut p, &mut rng);
         assert!(!p.is_empty());
+    }
+
+    fn tmpfile(name: &str, contents: &[u8]) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("adaedge-faultkit-{name}-{}", std::process::id()));
+        std::fs::write(&p, contents).unwrap();
+        p
+    }
+
+    #[test]
+    fn file_truncate_at_cuts_and_is_idempotent() {
+        let p = tmpfile("trunc", &[1u8; 100]);
+        file_truncate_at(&p, 40).unwrap();
+        assert_eq!(std::fs::metadata(&p).unwrap().len(), 40);
+        file_truncate_at(&p, 80).unwrap(); // never grows
+        assert_eq!(std::fs::metadata(&p).unwrap().len(), 40);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn file_torn_tail_shrinks_within_bound() {
+        let p = tmpfile("torn", &[9u8; 64]);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let new_len = file_torn_tail(&p, 16, &mut rng).unwrap();
+        assert!((48..64).contains(&new_len));
+        assert_eq!(std::fs::metadata(&p).unwrap().len(), new_len);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn file_bit_flip_in_stays_inside_range() {
+        let base = vec![0u8; 128];
+        let p = tmpfile("flip", &base);
+        let mut rng = SmallRng::seed_from_u64(5);
+        file_bit_flip_in(&p, 32..64, &mut rng).unwrap();
+        let mutated = std::fs::read(&p).unwrap();
+        assert_eq!(mutated.len(), 128);
+        assert_ne!(mutated, base);
+        assert_eq!(&mutated[..32], &base[..32]);
+        assert_eq!(&mutated[64..], &base[64..]);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn file_duplicate_range_splices_a_copy() {
+        let p = tmpfile("dup", &[0, 1, 2, 3, 4, 5, 6, 7]);
+        file_duplicate_range(&p, 2, 3).unwrap();
+        assert_eq!(
+            std::fs::read(&p).unwrap(),
+            [0, 1, 2, 3, 4, 2, 3, 4, 5, 6, 7]
+        );
+        // Out-of-range duplication is a no-op.
+        file_duplicate_range(&p, 100, 5).unwrap();
+        assert_eq!(std::fs::read(&p).unwrap().len(), 11);
+        std::fs::remove_file(&p).ok();
     }
 }

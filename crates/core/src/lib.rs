@@ -19,6 +19,8 @@
 //!   streams multiplexed over the shared sharded workers.
 //! * [`frame`] — priority-aware packing of compressed segments into
 //!   bounded transport frames.
+//! * [`spooling`] — store-and-forward: durable spool sink for disconnect
+//!   egress and ACK-gated reconnect replay through the frame packer.
 #![warn(missing_docs)]
 
 pub mod baselines;
@@ -32,6 +34,7 @@ pub mod online;
 pub mod query;
 pub mod selector;
 pub mod shard;
+pub mod spooling;
 pub mod targets;
 
 pub use constraints::{Constraints, NetworkProfile};
@@ -46,4 +49,8 @@ pub use selector::{
     SelectorConfig,
 };
 pub use shard::{resolve_threads, shard_pool_size, ReplicaSelector, SharedOutcomeTable, WorkGate};
+pub use spooling::{
+    decode_block, encode_block, run_reconnect, spool_offline_egress, IngestLedger, RelayError,
+    ReplayConfig, ReplayReport, SpoolSink,
+};
 pub use targets::{OptimizationTarget, RewardEvaluator, TargetComponent};

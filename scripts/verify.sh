@@ -34,10 +34,19 @@ cargo test --release -q -p adaedge-core --test shard_equivalence
 echo "==> fleet equivalence (1-stream bit-identity, interleaving, evict/restore)"
 cargo test --release -q -p adaedge-core --test fleet_equivalence
 
+echo "==> spool crash-recovery fault suite (520 crash points, release)"
+cargo test --release -q -p adaedge-storage --test spool_recovery
+
+echo "==> spool store-and-forward integration (48h-disconnect smoke, release)"
+cargo test --release -q -p adaedge-core --test spool_integration
+
 echo "==> engine throughput smoke (--quick)"
 cargo run --release -q -p adaedge-bench --bin engine_throughput -- --quick
 
 echo "==> fleet throughput smoke (1k streams, --quick)"
 cargo run --release -q -p adaedge-bench --bin fleet_throughput -- --quick
+
+echo "==> spool throughput smoke (--quick)"
+cargo run --release -q -p adaedge-bench --bin spool_throughput -- --quick
 
 echo "verify: OK"

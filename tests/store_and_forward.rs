@@ -1,0 +1,104 @@
+//! Tier-1 gate for the store-and-forward subsystem: a fast end-to-end
+//! disconnect → crash → reconnect cycle through the `adaedge` facade.
+//! The exhaustive fault suites live with their crates
+//! (`crates/storage/tests/spool_recovery.rs`,
+//! `crates/core/tests/spool_integration.rs`); this test keeps the happy
+//! path plus one crash under the root `cargo test` umbrella.
+
+use adaedge::codecs::faultkit;
+use adaedge::codecs::CodecRegistry;
+use adaedge::core::spooling::{
+    run_reconnect, spool_offline_egress, IngestLedger, ReplayConfig, SpoolSink,
+};
+use adaedge::core::{AggKind, OfflineAdaEdge, OfflineConfig, OptimizationTarget};
+use adaedge::datasets::{CbfConfig, CbfStream, SegmentSource};
+use adaedge::storage::{Spool, SpoolConfig};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn tmpdir() -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "adaedge-saf-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&p).ok();
+    p
+}
+
+#[test]
+fn disconnect_crash_reconnect_delivers_every_segment_exactly_once() {
+    let dir = tmpdir();
+    let mut cfg = SpoolConfig::new(&dir);
+    cfg.segment_max_bytes = 8 * 1024;
+    cfg.sync_interval = Duration::from_secs(3600);
+
+    // Disconnect: compress 60 segments under the storage budget, draining
+    // egress into the durable spool every 10 segments.
+    let mut engine_cfg = OfflineConfig::new(1 << 20, OptimizationTarget::agg(AggKind::Sum));
+    engine_cfg.precision = 4;
+    let mut edge = OfflineAdaEdge::new(engine_cfg).expect("engine");
+    let mut stream = CbfStream::new(CbfConfig::default(), 256);
+    let mut sink = SpoolSink::new(Spool::open(cfg.clone()).expect("spool"));
+    for tick in 0..60u64 {
+        edge.ingest(&stream.next_segment()).expect("ingest");
+        if (tick + 1) % 10 == 0 {
+            spool_offline_egress(&mut edge, &mut sink, usize::MAX, tick).expect("drain");
+        }
+    }
+    assert_eq!(sink.spooled_blocks(), 60);
+    let durable = sink.spool().stats().durable_seq;
+    assert_eq!(durable, 60, "drains sync at ship boundaries");
+
+    // Power cut: tear the open segment's unsynced tail, then recover.
+    let spool = sink.into_spool();
+    let path = spool.open_segment_path().expect("open segment");
+    let synced = spool.open_segment_synced_bytes();
+    let len = spool.open_segment_len();
+    drop(spool);
+    if len > synced {
+        faultkit::file_truncate_at(&path, synced + (len - synced) / 2).expect("tear");
+    }
+    let mut spool = Spool::open(cfg).expect("crash recovery");
+    assert_eq!(
+        spool.stats().next_seq - 1,
+        60,
+        "everything below the durable horizon survives the crash"
+    );
+
+    // Reconnect: replay through the frame packer, ACK-gated GC, dedup.
+    let registry = CodecRegistry::new(4);
+    let replay_cfg = ReplayConfig {
+        records_per_tick: 8,
+        verify_decode: true,
+        ..ReplayConfig::default()
+    };
+    let mut ledger = IngestLedger::new();
+    let mut frames = 0usize;
+    let report = run_reconnect(&mut spool, &mut ledger, &registry, &replay_cfg, |f| {
+        assert!(f.used <= replay_cfg.frame.payload_cap);
+        frames += 1;
+    })
+    .expect("reconnect");
+
+    assert_eq!(report.ingested_records, 60, "exactly once");
+    assert_eq!(report.duplicate_records, 0);
+    assert_eq!(report.lost_records, 0);
+    assert_eq!(report.decode_failures, 0);
+    assert_eq!(report.final_acked_seq, 60);
+    assert_eq!(report.frames_emitted as usize, frames);
+    assert!(frames > 0);
+    assert_eq!(
+        report.spool.closed_segments, 0,
+        "ACK-gated GC collected the backlog"
+    );
+
+    // A second reconnect finds nothing new: the ledger is the authority.
+    let report2 = run_reconnect(&mut spool, &mut ledger, &registry, &replay_cfg, |_| {})
+        .expect("reconnect again");
+    assert_eq!(report2.ingested_records, 0);
+    assert_eq!(report2.final_acked_seq, 60);
+    drop(spool);
+    std::fs::remove_dir_all(&dir).ok();
+}
