@@ -9,6 +9,10 @@ use rand::{Rng, RngCore};
 #[derive(Debug, Clone)]
 pub struct EpsilonGreedy {
     epsilon: f64,
+    /// Link-pressure damping of ε (1.0 = nominal). Kept separate from
+    /// `epsilon` so releasing the pressure restores the configured rate
+    /// exactly.
+    explore_scale: f64,
     q: Vec<f64>,
     n: Vec<u64>,
     step: StepSize,
@@ -37,6 +41,7 @@ impl EpsilonGreedy {
         }
         Self {
             epsilon,
+            explore_scale: 1.0,
             q: vec![initial; n_arms],
             n: vec![0; n_arms],
             step,
@@ -56,11 +61,19 @@ impl Policy for EpsilonGreedy {
     }
 
     fn select(&mut self, mask: Option<&[bool]>, rng: &mut dyn RngCore) -> usize {
-        if self.epsilon > 0.0 && rng.gen::<f64>() < self.epsilon {
+        // The explore draw happens whenever ε > 0, scaled or not, so a
+        // scale of exactly 1.0 is bit-identical (same RNG draw count) to
+        // never having scaled.
+        if self.epsilon > 0.0 && rng.gen::<f64>() < self.epsilon * self.explore_scale {
             masked_uniform(self.q.len(), mask, rng)
         } else {
             masked_argmax(&self.q, mask)
         }
+    }
+
+    fn set_exploration_scale(&mut self, scale: f64) {
+        assert!((0.0..=1.0).contains(&scale), "scale in [0,1]");
+        self.explore_scale = scale;
     }
 
     fn update(&mut self, arm: usize, reward: f64) {
@@ -294,6 +307,27 @@ mod tests {
         for _ in 0..50 {
             let arm = p.select(Some(&[false, true, false]), &mut rng);
             assert_eq!(arm, 1);
+        }
+    }
+
+    #[test]
+    fn exploration_scale_damps_and_restores() {
+        // Scale 0: never explores (pure argmax). Scale back to 1.0:
+        // behaves exactly like a never-scaled twin from the same seed.
+        let mut p = EpsilonGreedy::new(3, 1.0);
+        p.set_exploration_scale(0.0);
+        let mut rng = SmallRng::seed_from_u64(5);
+        p.update(2, 0.9);
+        for _ in 0..50 {
+            assert_eq!(p.select(None, &mut rng), 2, "scale 0 is greedy");
+        }
+        p.set_exploration_scale(1.0);
+        let mut twin = EpsilonGreedy::new(3, 1.0);
+        twin.update(2, 0.9);
+        let mut r1 = SmallRng::seed_from_u64(9);
+        let mut r2 = SmallRng::seed_from_u64(9);
+        for _ in 0..200 {
+            assert_eq!(p.select(None, &mut r1), twin.select(None, &mut r2));
         }
     }
 

@@ -73,6 +73,16 @@ pub trait Policy: Send {
         self.fold(arm, pulls, estimate * pulls as f64);
     }
 
+    /// Scale the policy's exploration pressure by `scale` (1.0 = the
+    /// configured default, 0.0 = pure exploitation). The link-pressure
+    /// degradation path uses this to damp exploration when the uplink is
+    /// backlogged — exploring a poorly-compressing arm while frames queue
+    /// is bandwidth the device doesn't have. Implementations scale their
+    /// exploration knob (ε, UCB's `c`); the default is a no-op for
+    /// policies without one. At `scale == 1.0` selection must be
+    /// bit-identical to never having called this (same RNG draw count).
+    fn set_exploration_scale(&mut self, _scale: f64) {}
+
     /// Current value estimates per arm (for introspection and tests).
     fn estimates(&self) -> &[f64];
 
@@ -102,6 +112,10 @@ impl Policy for Box<dyn Policy> {
 
     fn restore(&mut self, arm: usize, pulls: u64, estimate: f64) {
         (**self).restore(arm, pulls, estimate)
+    }
+
+    fn set_exploration_scale(&mut self, scale: f64) {
+        (**self).set_exploration_scale(scale)
     }
 
     fn estimates(&self) -> &[f64] {

@@ -9,6 +9,8 @@ use rand::RngCore;
 #[derive(Debug, Clone)]
 pub struct Ucb {
     c: f64,
+    /// Link-pressure damping of the confidence bonus (1.0 = nominal).
+    explore_scale: f64,
     q: Vec<f64>,
     n: Vec<u64>,
     total: u64,
@@ -22,6 +24,7 @@ impl Ucb {
         assert!(c >= 0.0, "c must be non-negative");
         Self {
             c,
+            explore_scale: 1.0,
             q: vec![0.0; n_arms],
             n: vec![0; n_arms],
             total: 0,
@@ -48,11 +51,16 @@ impl Policy for Ucb {
                 if self.n[i] == 0 {
                     f64::NEG_INFINITY // unreachable: handled above when enabled
                 } else {
-                    self.q[i] + self.c * (t.ln() / self.n[i] as f64).sqrt()
+                    self.q[i] + self.c * self.explore_scale * (t.ln() / self.n[i] as f64).sqrt()
                 }
             })
             .collect();
         masked_argmax(&scores, mask)
+    }
+
+    fn set_exploration_scale(&mut self, scale: f64) {
+        assert!((0.0..=1.0).contains(&scale), "scale in [0,1]");
+        self.explore_scale = scale;
     }
 
     fn update(&mut self, arm: usize, reward: f64) {
@@ -158,6 +166,22 @@ mod tests {
             assert_ne!(arm, 1);
             p.update(arm, 0.1);
         }
+    }
+
+    #[test]
+    fn exploration_scale_zero_collapses_to_greedy() {
+        let mut p = Ucb::new(2, 5.0);
+        let mut rng = SmallRng::seed_from_u64(4);
+        // Arm 1 has the better estimate but far fewer pulls: the full
+        // bonus would pick arm 0; scale 0 must go straight to arm 1.
+        p.restore(0, 500, 0.4);
+        p.restore(1, 5, 0.6);
+        p.set_exploration_scale(0.0);
+        assert_eq!(p.select(None, &mut rng), 1);
+        p.set_exploration_scale(1.0);
+        assert_eq!(p.select(None, &mut rng), 1, "5 pulls carry a big bonus");
+        p.restore(1, 5000, 0.6);
+        assert_eq!(p.select(None, &mut rng), 0, "restored bonus favors 0");
     }
 
     #[test]

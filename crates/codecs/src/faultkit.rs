@@ -46,6 +46,24 @@ pub fn bit_flip<R: Rng>(payload: &mut [u8], rng: &mut R) {
     }
 }
 
+/// Flip 1..=`max_flips` random bits of `payload` in place — the
+/// configurable-burst variant of [`bit_flip`] for wire-frame corruption,
+/// where a noisy radio can smear many bits across one frame. No-op on an
+/// empty payload or `max_flips == 0`.
+pub fn bit_flip_n<R: Rng>(payload: &mut [u8], max_flips: usize, rng: &mut R) {
+    if payload.is_empty() || max_flips == 0 {
+        return;
+    }
+    let flips = rng.gen_range(1..=max_flips);
+    for _ in 0..flips {
+        let byte = rng.gen_range(0..payload.len());
+        let bit = rng.gen_range(0..8u32);
+        if let Some(b) = payload.get_mut(byte) {
+            *b ^= 1 << bit;
+        }
+    }
+}
+
 /// Truncate `payload` to a random strictly-shorter length (possibly empty).
 /// No-op on an empty payload.
 pub fn truncate<R: Rng>(payload: &mut Vec<u8>, rng: &mut R) {
@@ -182,6 +200,27 @@ mod tests {
         bit_flip(&mut p, &mut rng);
         assert_eq!(p.len(), base.len());
         assert_ne!(p, base);
+    }
+
+    #[test]
+    fn bit_flip_n_is_bounded_and_deterministic() {
+        let base: Vec<u8> = (0..32u8).collect();
+        let mut a = base.clone();
+        let mut b = base.clone();
+        bit_flip_n(&mut a, 16, &mut SmallRng::seed_from_u64(13));
+        bit_flip_n(&mut b, 16, &mut SmallRng::seed_from_u64(13));
+        assert_eq!(a, b, "deterministic per seed");
+        assert_ne!(a, base);
+        assert_eq!(a.len(), base.len());
+        // Flipped bit count never exceeds the burst bound.
+        let flipped: u32 = a.iter().zip(&base).map(|(x, y)| (x ^ y).count_ones()).sum();
+        assert!((1..=16).contains(&flipped), "{flipped} bits flipped");
+        // Degenerate inputs are safe no-ops.
+        let mut empty: Vec<u8> = Vec::new();
+        bit_flip_n(&mut empty, 4, &mut SmallRng::seed_from_u64(1));
+        let mut zero = vec![5u8; 4];
+        bit_flip_n(&mut zero, 0, &mut SmallRng::seed_from_u64(1));
+        assert_eq!(zero, vec![5u8; 4]);
     }
 
     #[test]

@@ -42,6 +42,7 @@ use crate::error::{AdaEdgeError, Result};
 use crate::frame::{FrameConfig, FrameItem, FramePacker, Priority, StreamEgress};
 use crate::selector::{ArmOutcome, LosslessSelector, SelectorConfig};
 use crate::shard::{resolve_threads, shard_pool_size, WorkGate};
+use crate::uplink::{LinkPressure, PressureGauge, UplinkRollup};
 use adaedge_codecs::{CodecId, CodecRegistry, CodecScratch};
 use adaedge_datasets::SegmentSource;
 use adaedge_storage::posterior::{load_posteriors, save_posteriors, StreamPosterior};
@@ -131,6 +132,14 @@ pub struct FleetConfig {
     /// run so returning streams resume their learned state, and rewritten
     /// with every evicted stream's posterior after it.
     pub posterior_path: Option<std::path::PathBuf>,
+    /// Optional link-pressure gauge shared with the uplink transport.
+    /// When set, workers read the current [`LinkPressure`] level before
+    /// every arm decision and bias selection toward higher-ratio codecs
+    /// under congestion
+    /// ([`crate::selector::LosslessSelector::select_arm_biased`]). `None`
+    /// (the default) keeps arm selection bit-identical to previous
+    /// releases.
+    pub pressure: Option<PressureGauge>,
 }
 
 impl Default for FleetConfig {
@@ -145,6 +154,7 @@ impl Default for FleetConfig {
             max_resident_streams: 0,
             frame: FrameConfig::default(),
             posterior_path: None,
+            pressure: None,
         }
     }
 }
@@ -404,8 +414,28 @@ pub struct FleetReport {
     pub arms: Vec<CodecId>,
     /// Egress-stage rollup.
     pub frames: FrameSummary,
+    /// Batches whose arm decision was taken under elevated or critical
+    /// link pressure (pressure-biased selection; see
+    /// [`FleetConfig::pressure`]). Zero when no gauge is attached.
+    pub degraded_batches: u64,
+    /// Uplink transport rollup: retries, breaker trips, replay outcomes.
+    /// Populated by the caller via [`FleetReport::absorb_session`] /
+    /// [`FleetReport::absorb_replay`] after driving the transport.
+    pub uplink: UplinkRollup,
     /// Per-stream rollups, sorted by id.
     pub stream_reports: Vec<StreamReport>,
+}
+
+impl FleetReport {
+    /// Fold an uplink session's transport counters into this report.
+    pub fn absorb_session(&mut self, session: &crate::uplink::SessionReport) {
+        self.uplink.absorb_session(session);
+    }
+
+    /// Fold a spool reconnect-replay report into this report.
+    pub fn absorb_replay(&mut self, replay: &crate::spooling::ReplayReport) {
+        self.uplink.absorb_replay(replay);
+    }
 }
 
 /// A batch of segments dispatched for one stream. `home` names the shard
@@ -563,6 +593,8 @@ pub fn run_fleet(specs: Vec<StreamSpec>, config: &FleetConfig) -> Result<FleetRe
                 max_frame_used: 0,
                 payload_cap: config.frame.payload_cap,
             },
+            degraded_batches: 0,
+            uplink: UplinkRollup::default(),
             stream_reports: Vec::new(),
         });
     }
@@ -595,6 +627,7 @@ pub fn run_fleet(specs: Vec<StreamSpec>, config: &FleetConfig) -> Result<FleetRe
     let gate = WorkGate::new(); // wakes parked workers on enqueue
     let done_gate = WorkGate::new(); // wakes the producer on batch completion
     let steals = AtomicU64::new(0);
+    let degraded_total = AtomicU64::new(0);
     let table = ShardedStreamTable::new(n_shards, config.max_resident_streams);
 
     let mut txs = Vec::with_capacity(n_shards);
@@ -656,9 +689,12 @@ pub fn run_fleet(specs: Vec<StreamSpec>, config: &FleetConfig) -> Result<FleetRe
             let gate = &gate;
             let done_gate = &done_gate;
             let steals = &steals;
+            let degraded_total = &degraded_total;
+            let gauge = config.pressure.clone();
             workers.push(scope.spawn(move || {
                 let mut scratch = CodecScratch::new();
                 let mut local_counts: HashMap<CodecId, u64> = HashMap::new();
+                let mut local_degraded = 0u64;
                 let mut outcomes: Vec<ArmOutcome> = Vec::with_capacity(k);
                 let mut open = vec![true; n_shards];
                 // Frame descriptors are flushed to the egress stage in
@@ -677,8 +713,17 @@ pub fn run_fleet(specs: Vec<StreamSpec>, config: &FleetConfig) -> Result<FleetRe
                     // is held only for the decision itself; per-stream
                     // ordering (one batch in flight) keeps the
                     // select→report pair atomic with respect to this
-                    // stream's other batches.
-                    let (arm, codec) = entry.state.lock().selector.select_arm();
+                    // stream's other batches. Under link pressure the
+                    // decision is biased toward higher-ratio arms; the
+                    // Nominal path is bit-identical to plain select_arm.
+                    let level = gauge
+                        .as_ref()
+                        .map(|g| g.level())
+                        .unwrap_or(LinkPressure::Nominal);
+                    if level != LinkPressure::Nominal {
+                        local_degraded += 1;
+                    }
+                    let (arm, codec) = entry.state.lock().selector.select_arm_biased(level);
                     outcomes.clear();
                     let mut points = 0u64;
                     let mut bytes_out = 0u64;
@@ -747,6 +792,7 @@ pub fn run_fleet(specs: Vec<StreamSpec>, config: &FleetConfig) -> Result<FleetRe
                 if !items.is_empty() {
                     let _ = frame_tx.send(items);
                 }
+                degraded_total.fetch_add(local_degraded, Ordering::Relaxed);
                 local_counts
             }));
         }
@@ -1086,6 +1132,8 @@ pub fn run_fleet(specs: Vec<StreamSpec>, config: &FleetConfig) -> Result<FleetRe
             max_frame_used: packer.max_frame_used(),
             payload_cap: config.frame.payload_cap,
         },
+        degraded_batches: degraded_total.load(Ordering::Relaxed),
+        uplink: UplinkRollup::default(),
         stream_reports,
     })
 }
@@ -1256,5 +1304,55 @@ mod tests {
             "second session must continue the first's counts"
         );
         assert!(sessions.last().unwrap().restored);
+    }
+
+    #[test]
+    fn pressure_gauge_degrades_batch_selection() {
+        let mk_specs = || -> Vec<StreamSpec> {
+            (0..4)
+                .map(|id| {
+                    StreamSpec::new(
+                        id,
+                        Priority::Normal,
+                        6,
+                        Box::new(SineStream::new(128, 0.1, 4, id)),
+                    )
+                })
+                .collect()
+        };
+        // No gauge: zero degraded batches, the pre-uplink behavior.
+        let baseline = run_fleet(mk_specs(), &FleetConfig::default()).unwrap();
+        assert_eq!(baseline.degraded_batches, 0);
+        assert_eq!(baseline.uplink, UplinkRollup::default());
+        // A gauge pinned at Critical: every batch decision is degraded and
+        // selection collapses to the deterministic best-ratio argmax.
+        let gauge = PressureGauge::new();
+        gauge.set(LinkPressure::Critical);
+        let config = FleetConfig {
+            pressure: Some(gauge),
+            ..Default::default()
+        };
+        let report = run_fleet(mk_specs(), &config).unwrap();
+        assert_eq!(report.segments, 24);
+        assert_eq!(
+            report.degraded_batches, 24,
+            "every batch ran under Critical pressure"
+        );
+        // A gauge at Nominal is bit-identical to no gauge at all.
+        let idle_gauge = PressureGauge::new();
+        let config = FleetConfig {
+            pressure: Some(idle_gauge),
+            ..Default::default()
+        };
+        let nominal = run_fleet(mk_specs(), &config).unwrap();
+        assert_eq!(nominal.degraded_batches, 0);
+        assert_eq!(nominal.codec_counts, baseline.codec_counts);
+        for (a, b) in nominal
+            .stream_reports
+            .iter()
+            .zip(baseline.stream_reports.iter())
+        {
+            assert_eq!(a.pulls, b.pulls, "stream {}", a.id);
+        }
     }
 }

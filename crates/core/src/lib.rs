@@ -21,6 +21,9 @@
 //!   bounded transport frames.
 //! * [`spooling`] — store-and-forward: durable spool sink for disconnect
 //!   egress and ACK-gated reconnect replay through the frame packer.
+//! * [`uplink`] — fault-tolerant transport: ACK windows, retry/backoff,
+//!   circuit breaking, the `FaultyLink` chaos transport, and the
+//!   `LinkPressure` degradation signal that biases the selectors.
 #![warn(missing_docs)]
 
 pub mod baselines;
@@ -36,6 +39,7 @@ pub mod selector;
 pub mod shard;
 pub mod spooling;
 pub mod targets;
+pub mod uplink;
 
 pub use constraints::{Constraints, NetworkProfile};
 pub use error::{AdaEdgeError, Result};
@@ -46,7 +50,7 @@ pub use online::{OnlineAdaEdge, OnlineConfig, OnlineOutcome, OnlineStats, Path};
 pub use query::AggKind;
 pub use selector::{
     BandedLossySelector, BanditAlgorithm, LosslessSelector, LossySelector, Selection,
-    SelectorConfig,
+    SelectorConfig, ELEVATED_EXPLORE_SCALE,
 };
 pub use shard::{resolve_threads, shard_pool_size, ReplicaSelector, SharedOutcomeTable, WorkGate};
 pub use spooling::{
@@ -54,3 +58,9 @@ pub use spooling::{
     ReplayConfig, ReplayReport, SpoolSink,
 };
 pub use targets::{OptimizationTarget, RewardEvaluator, TargetComponent};
+pub use uplink::{
+    run_session, Ack, Backoff, BackoffConfig, BreakerConfig, BreakerState, CircuitBreaker,
+    FaultSpec, FaultyLink, FrameKind, LinkPressure, PerfectLink, Phase, PressureGauge,
+    PressureWatermarks, Receiver, SessionReport, Transport, Uplink, UplinkConfig, UplinkCounters,
+    UplinkFrame, UplinkRollup, WireFragment,
+};

@@ -8,6 +8,7 @@
 
 use crate::error::{AdaEdgeError, Result};
 use crate::targets::RewardEvaluator;
+use crate::uplink::LinkPressure;
 use adaedge_bandit::{
     default_band_edges, BandedBandits, EpsilonGreedy, GradientBandit, Policy, StepSize, Ucb,
 };
@@ -127,6 +128,11 @@ pub struct Selection {
 /// may accumulate before [`LosslessSelector`] quarantines it.
 pub const QUARANTINE_AFTER: u32 = 3;
 
+/// Exploration damping applied under [`LinkPressure::Elevated`]: the
+/// policy explores at a quarter of its configured rate while the uplink
+/// backlog sits between the elevated and critical watermarks.
+pub const ELEVATED_EXPLORE_SCALE: f64 = 0.25;
+
 /// One per-segment outcome a batched engine worker accumulates locally
 /// (outside the selector lock) and reports through
 /// [`LosslessSelector::report_batch`].
@@ -231,6 +237,45 @@ impl LosslessSelector {
         };
         let arm = self.mab.select(mask, &mut self.rng);
         (arm, self.arms[arm])
+    }
+
+    /// Select an arm under a link-pressure bias (§7 degradation path):
+    ///
+    /// * `Nominal` — identical to [`Self::select_arm`], bit for bit.
+    /// * `Elevated` — exploration damped to [`ELEVATED_EXPLORE_SCALE`]
+    ///   of its configured rate: keep learning, but stop spending the
+    ///   backlogged link on experiments.
+    /// * `Critical` — pure exploitation: a deterministic argmax over the
+    ///   current estimates (reward is `1 − ratio`, so the argmax *is*
+    ///   the best-compressing arm), no RNG draw at all. Quarantined arms
+    ///   stay masked; all-quarantined fails open like `select_arm`.
+    pub fn select_arm_biased(&mut self, pressure: LinkPressure) -> (usize, CodecId) {
+        match pressure {
+            LinkPressure::Nominal => self.select_arm(),
+            LinkPressure::Elevated => {
+                self.mab.set_exploration_scale(ELEVATED_EXPLORE_SCALE);
+                let pick = self.select_arm();
+                self.mab.set_exploration_scale(1.0);
+                pick
+            }
+            LinkPressure::Critical => {
+                let est = self.mab.estimates();
+                let fail_open = self.n_quarantined == 0 || self.n_quarantined == self.arms.len();
+                let mut best: Option<usize> = None;
+                for i in 0..est.len() {
+                    if !fail_open && self.quarantined[i] {
+                        continue;
+                    }
+                    match best {
+                        None => best = Some(i),
+                        Some(b) if est[i] > est[b] => best = Some(i),
+                        _ => {}
+                    }
+                }
+                let arm = best.expect("selector has at least one arm");
+                (arm, self.arms[arm])
+            }
+        }
     }
 
     /// Record a failed compression attempt (codec error or caught panic)
@@ -1003,5 +1048,105 @@ mod tests {
     #[should_panic(expected = "lossless arms")]
     fn lossless_selector_rejects_lossy_arms() {
         LosslessSelector::new(vec![CodecId::Paa], SelectorConfig::default());
+    }
+
+    #[test]
+    fn nominal_bias_is_bit_identical_to_select_arm() {
+        let config = SelectorConfig {
+            epsilon: 0.3,
+            seed: 17,
+            ..Default::default()
+        };
+        let arms = CodecRegistry::lossless_candidates();
+        let mut plain = LosslessSelector::new(arms.clone(), config);
+        let mut biased = LosslessSelector::new(arms, config);
+        for i in 0..300 {
+            let a = plain.select_arm();
+            let b = biased.select_arm_biased(LinkPressure::Nominal);
+            assert_eq!(a, b, "diverged at step {i}");
+            let ratio = 0.3 + (a.0 as f64) * 0.1;
+            plain.report_ratio(a.0, ratio);
+            biased.report_ratio(b.0, ratio);
+        }
+    }
+
+    #[test]
+    fn critical_bias_is_deterministic_argmax() {
+        let mut sel = LosslessSelector::new(
+            CodecRegistry::lossless_candidates(),
+            SelectorConfig {
+                epsilon: 1.0, // maximally exploratory when unbiased
+                seed: 5,
+                ..Default::default()
+            },
+        );
+        // Teach it: arm 1 compresses best (lowest ratio → highest reward).
+        for (arm, ratio) in [(0, 0.8), (1, 0.2), (2, 0.7), (3, 0.9), (4, 0.6), (5, 0.75)] {
+            sel.report_ratio(arm, ratio);
+        }
+        for _ in 0..50 {
+            let (arm, _) = sel.select_arm_biased(LinkPressure::Critical);
+            assert_eq!(arm, 1, "critical pressure must exploit, never explore");
+        }
+        // Critical selection draws no RNG: the next nominal pick matches a
+        // twin that never went critical.
+        let mut twin = LosslessSelector::new(
+            CodecRegistry::lossless_candidates(),
+            SelectorConfig {
+                epsilon: 1.0,
+                seed: 5,
+                ..Default::default()
+            },
+        );
+        for (arm, ratio) in [(0, 0.8), (1, 0.2), (2, 0.7), (3, 0.9), (4, 0.6), (5, 0.75)] {
+            twin.report_ratio(arm, ratio);
+        }
+        assert_eq!(
+            sel.select_arm_biased(LinkPressure::Nominal),
+            twin.select_arm()
+        );
+    }
+
+    #[test]
+    fn critical_bias_respects_quarantine() {
+        let mut sel = LosslessSelector::new(
+            CodecRegistry::lossless_candidates(),
+            SelectorConfig::default(),
+        );
+        for (arm, ratio) in [(0, 0.8), (1, 0.2), (2, 0.7), (3, 0.9), (4, 0.6), (5, 0.75)] {
+            sel.report_ratio(arm, ratio);
+        }
+        sel.quarantine_arm(1); // the best arm goes toxic
+        let (arm, _) = sel.select_arm_biased(LinkPressure::Critical);
+        assert_eq!(arm, 4, "next-best non-quarantined arm (ratio 0.6)");
+    }
+
+    #[test]
+    fn elevated_bias_explores_less_than_nominal() {
+        // With ε=1.0 a nominal selector explores every draw; elevated
+        // damping to 0.25 must produce mostly-greedy picks.
+        let run = |pressure: LinkPressure| -> usize {
+            let mut sel = LosslessSelector::new(
+                CodecRegistry::lossless_candidates(),
+                SelectorConfig {
+                    epsilon: 1.0,
+                    seed: 23,
+                    ..Default::default()
+                },
+            );
+            for (arm, ratio) in [(0, 0.8), (1, 0.2), (2, 0.7), (3, 0.9), (4, 0.6), (5, 0.75)] {
+                sel.report_ratio(arm, ratio);
+            }
+            (0..400)
+                .filter(|_| sel.select_arm_biased(pressure).0 != 1)
+                .count()
+        };
+        let nominal_explores = run(LinkPressure::Nominal);
+        let elevated_explores = run(LinkPressure::Elevated);
+        assert!(
+            elevated_explores * 2 < nominal_explores,
+            "elevated {elevated_explores} vs nominal {nominal_explores}"
+        );
+        assert!(elevated_explores > 0, "elevated still explores a little");
     }
 }

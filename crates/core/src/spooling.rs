@@ -234,6 +234,13 @@ impl IngestLedger {
         }
     }
 
+    /// Whether `seq` has already been admitted (contiguously or out of
+    /// order). Receivers use this to drop duplicate fragments *before*
+    /// spending reassembly work on a record the ledger would refuse.
+    pub fn seen(&self, seq: u64) -> bool {
+        seq != 0 && (seq <= self.acked || self.out_of_order.contains(&seq))
+    }
+
     /// Highest contiguous sequence ingested (or known lost).
     pub fn acked_seq(&self) -> u64 {
         self.acked

@@ -1,0 +1,122 @@
+//! Property tests for the frame packer under the uplink's NACK-requeue
+//! workload (ISSUE 9): when an abandoned frame's records are re-queued
+//! mid-stream, the packer must still conserve every byte, respect the
+//! frame cap, and keep priority-then-sequence order within each frame.
+
+use adaedge_core::{FrameConfig, FrameItem, FramePacker, Priority, TransportFrame};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn prio() -> impl Strategy<Value = Priority> {
+    prop_oneof![
+        Just(Priority::Critical),
+        Just(Priority::High),
+        Just(Priority::Normal),
+        Just(Priority::Bulk),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn conservation_and_order_survive_midstream_requeue(
+        payload_cap in 48usize..512,
+        items in prop::collection::vec((0u64..4, prio(), 1usize..600), 1..40),
+        drain_every in 1usize..6,
+        requeue_mask in prop::collection::vec(any::<bool>(), 40..41),
+    ) {
+        let overhead = 12usize;
+        let cfg = FrameConfig { payload_cap, fragment_overhead: overhead };
+        let mut packer = FramePacker::new(cfg);
+        let mut frames: Vec<TransportFrame> = Vec::new();
+        let mut len_of: HashMap<u64, usize> = HashMap::new();
+        let mut stream_of: HashMap<u64, u64> = HashMap::new();
+        let mut prio_of: HashMap<u64, Priority> = HashMap::new();
+        let mut pushes: HashMap<u64, usize> = HashMap::new();
+
+        // Phase 1: stream the capture in, draining full frames as we go.
+        for (i, &(stream, priority, len)) in items.iter().enumerate() {
+            let seq = i as u64 + 1;
+            packer.push(FrameItem { stream, priority, seq, len });
+            len_of.insert(seq, len);
+            stream_of.insert(seq, stream);
+            prio_of.insert(seq, priority);
+            *pushes.entry(seq).or_insert(0) += 1;
+            if (i + 1) % drain_every == 0 {
+                while packer.frame_ready() {
+                    match packer.next_frame() {
+                        Some(f) => frames.push(f),
+                        None => break,
+                    }
+                }
+            }
+        }
+
+        // Phase 2: mid-stream NACK replay — re-queue a subset of the
+        // records that already shipped completely, while other records
+        // are still pending inside the packer.
+        let mut lasts_so_far: HashMap<u64, usize> = HashMap::new();
+        for f in &frames {
+            for fr in &f.fragments {
+                if fr.last {
+                    *lasts_so_far.entry(fr.seq).or_insert(0) += 1;
+                }
+            }
+        }
+        for (i, &(stream, priority, len)) in items.iter().enumerate() {
+            let seq = i as u64 + 1;
+            if requeue_mask[i % requeue_mask.len()]
+                && lasts_so_far.get(&seq).copied().unwrap_or(0) == 1
+            {
+                packer.push(FrameItem { stream, priority, seq, len });
+                *pushes.get_mut(&seq).unwrap() += 1;
+            }
+        }
+        frames.extend(packer.flush());
+        prop_assert_eq!(packer.pending(), 0);
+        prop_assert_eq!(packer.pending_bytes(), 0);
+
+        // Frame-local invariants: cap respected, `used` accounts for
+        // every fragment + overhead, and fragments never ship out of
+        // (priority, seq) order within a frame.
+        for f in &frames {
+            prop_assert!(f.used <= payload_cap, "{} > cap {}", f.used, payload_cap);
+            let sum: usize = f.fragments.iter().map(|fr| fr.len + overhead).sum();
+            prop_assert_eq!(f.used, sum);
+            for w in f.fragments.windows(2) {
+                let a = (prio_of[&w[0].seq], w[0].seq);
+                let b = (prio_of[&w[1].seq], w[1].seq);
+                prop_assert!(a <= b, "order violation: {a:?} then {b:?}");
+            }
+        }
+
+        // Global conservation: per record, shipped bytes equal
+        // `len × times_pushed`, with exactly one `last` fragment per
+        // push, every fragment inside the record's bounds, and the
+        // stream id stamped through unchanged.
+        let mut shipped: HashMap<u64, usize> = HashMap::new();
+        let mut lasts: HashMap<u64, usize> = HashMap::new();
+        for f in &frames {
+            for fr in &f.fragments {
+                let len = len_of[&fr.seq];
+                prop_assert!(fr.offset + fr.len <= len);
+                prop_assert_eq!(fr.stream, stream_of[&fr.seq]);
+                *shipped.entry(fr.seq).or_insert(0) += fr.len;
+                if fr.last {
+                    prop_assert_eq!(fr.offset + fr.len, len, "last fragment ends the record");
+                    *lasts.entry(fr.seq).or_insert(0) += 1;
+                }
+            }
+        }
+        for (&seq, &len) in &len_of {
+            let n = pushes[&seq];
+            prop_assert_eq!(
+                shipped.get(&seq).copied().unwrap_or(0),
+                len * n,
+                "seq {} bytes", seq
+            );
+            prop_assert_eq!(lasts.get(&seq).copied().unwrap_or(0), n, "seq {} lasts", seq);
+        }
+    }
+}

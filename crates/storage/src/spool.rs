@@ -844,6 +844,24 @@ struct SegReader {
 }
 
 impl Replayer {
+    /// Rewind the replay cursor so the next item is the first record
+    /// with `seq > from_seq` — the NACK path: an uplink abandoning
+    /// un-ACKed records hands their lowest predecessor back here and the
+    /// replay re-delivers them (the ingest ledger dedups anything that
+    /// did land). Rewinding restarts the segment walk from the front of
+    /// the original snapshot; the `rec.seq < expect` skip fast-forwards
+    /// inside each segment. Records outside the snapshot (appended after
+    /// [`Spool::replayer`], or below its `from_seq`) stay invisible, and
+    /// a segment GC'd since the snapshot degrades to a [`ReplayItem::Gap`]
+    /// — GC only ever removes fully-ACKed segments, which a NACK rewind
+    /// never targets.
+    pub fn rewind(&mut self, from_seq: u64) {
+        self.idx = 0;
+        self.reader = None;
+        self.done = false;
+        self.expect = from_seq + 1;
+    }
+
     /// Read the next frame from the current segment reader. `None` on a
     /// clean or corrupt end of segment (both close the segment).
     fn next_frame(reader: &mut SegReader) -> Option<SpoolRecord> {
@@ -1077,6 +1095,48 @@ mod tests {
         // replayer() syncs internally, so everything becomes visible.
         assert_eq!(records(&drain(&mut spool, 0)).len(), 5);
         assert_eq!(spool.stats().durable_seq, 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replayer_rewind_redelivers_from_the_nack_point() {
+        let dir = tmpdir("rewind");
+        let mut c = cfg(&dir);
+        // Force several segments so the rewind walks segment boundaries.
+        c.segment_max_bytes = HEADER_BYTES + 3 * (FRAME_OVERHEAD + 8);
+        let mut spool = Spool::open(c).unwrap();
+        for i in 0..12u64 {
+            spool.append(i, &[i as u8; 8]).unwrap();
+        }
+        let mut rep = spool.replayer(0).unwrap();
+        // Consume the first 9 records, then NACK back to after seq 4.
+        let mut seen = Vec::new();
+        for _ in 0..9 {
+            match rep.next().unwrap() {
+                ReplayItem::Record(r) => seen.push(r.seq),
+                item => panic!("unexpected gap: {item:?}"),
+            }
+        }
+        assert_eq!(seen, (1..=9).collect::<Vec<_>>());
+        rep.rewind(4);
+        let replayed = records(&rep.collect::<Vec<_>>());
+        assert_eq!(replayed, (5..=12).collect::<Vec<_>>());
+        // A second rewind on the exhausted iterator revives it too.
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replayer_rewind_after_exhaustion_revives_the_cursor() {
+        let dir = tmpdir("rewind-exhausted");
+        let mut spool = Spool::open(cfg(&dir)).unwrap();
+        for i in 0..6u64 {
+            spool.append(i, b"abc").unwrap();
+        }
+        let mut rep = spool.replayer(0).unwrap();
+        assert_eq!(records(&rep.by_ref().collect::<Vec<_>>()).len(), 6);
+        assert!(rep.next().is_none(), "exhausted");
+        rep.rewind(2);
+        assert_eq!(records(&rep.collect::<Vec<_>>()), vec![3, 4, 5, 6]);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -40,6 +40,12 @@ cargo test --release -q -p adaedge-storage --test spool_recovery
 echo "==> spool store-and-forward integration (48h-disconnect smoke, release)"
 cargo test --release -q -p adaedge-core --test spool_integration
 
+echo "==> uplink chaos suite (lossy-link exactly-once, breaker recovery, release)"
+cargo test --release -q -p adaedge-core --test uplink_chaos
+
+echo "==> frame packer NACK-requeue proptests"
+cargo test --release -q -p adaedge-core --test frame_packer_props
+
 echo "==> engine throughput smoke (--quick)"
 cargo run --release -q -p adaedge-bench --bin engine_throughput -- --quick
 
@@ -48,5 +54,8 @@ cargo run --release -q -p adaedge-bench --bin fleet_throughput -- --quick
 
 echo "==> spool throughput smoke (--quick)"
 cargo run --release -q -p adaedge-bench --bin spool_throughput -- --quick
+
+echo "==> uplink goodput smoke (--quick)"
+cargo run --release -q -p adaedge-bench --bin uplink_goodput -- --quick
 
 echo "verify: OK"
