@@ -1,14 +1,15 @@
-//! Hot-loop kernel micro-benchmarks: the SWAR/fused kernels against their
-//! naive scalar references, on the buffer sizes the engine actually moves
-//! (segment payloads of a few KB). `crc32c` compares slicing-by-8 against
-//! the table-per-byte loop, `match_extend` compares word-at-a-time match
-//! extension against byte comparison, and `quantize` / `dequantize` /
-//! `delta_zigzag` time the fused transform loops. Throughput is over the
-//! input side so before/after figures divide directly into speedups.
+//! Hot-loop kernel micro-benchmarks, one row per backend tier: every
+//! kernel is timed through `adaedge_codecs::simd::Backend` for each tier
+//! the host supports (scalar reference, portable SWAR, and whichever of
+//! SSE4.2/AVX2/NEON detection finds), in the same binary and the same
+//! run, so per-tier rows divide directly into speedups. Buffer sizes are
+//! what the engine actually moves (segment payloads of a few KB).
+//! `pack_run`/`unpack_run` are benched at widths 7 and 12 — inside the
+//! AVX2 fast-path range and typical of Sprintz delta lanes; `quantize`
+//! has no SIMD tier and keeps its single fused row.
 
-use adaedge_codecs::crc32c::{crc32c, crc32c_scalar};
-use adaedge_codecs::lz::{match_len, match_len_scalar};
-use adaedge_codecs::util::{delta_zigzag_into, dequantize_into, quantize_into};
+use adaedge_codecs::simd;
+use adaedge_codecs::util::quantize_into;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use std::time::Duration;
@@ -35,6 +36,12 @@ fn smooth_points(n: usize) -> Vec<f64> {
         .collect()
 }
 
+fn quantized(n: usize) -> Vec<i64> {
+    let mut q = Vec::new();
+    quantize_into(&smooth_points(n), 4, &mut q).unwrap();
+    q
+}
+
 fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
     let mut group = c.benchmark_group("kernels");
     group
@@ -48,12 +55,13 @@ fn bench_crc32c(c: &mut Criterion) {
     let mut group = quick(c);
     group.throughput(Throughput::Bytes(N_BYTES as u64));
     let data = pseudo_bytes(N_BYTES);
-    group.bench_with_input(BenchmarkId::new("crc32c", "sliced8"), &data, |b, data| {
-        b.iter(|| black_box(crc32c(data)))
-    });
-    group.bench_with_input(BenchmarkId::new("crc32c", "scalar"), &data, |b, data| {
-        b.iter(|| black_box(crc32c_scalar(data)))
-    });
+    for &backend in simd::supported() {
+        group.bench_with_input(
+            BenchmarkId::new("crc32c", backend.name()),
+            &data,
+            |b, data| b.iter(|| black_box(backend.crc32c_append(0, data))),
+        );
+    }
     group.finish();
 }
 
@@ -65,16 +73,97 @@ fn bench_match_extend(c: &mut Criterion) {
     data.extend_from_within(..);
     let max = N_BYTES / 2;
     group.throughput(Throughput::Bytes(max as u64));
-    group.bench_with_input(
-        BenchmarkId::new("match_extend", "swar"),
-        &data,
-        |b, data| b.iter(|| black_box(match_len(data, 0, N_BYTES / 2, max))),
-    );
-    group.bench_with_input(
-        BenchmarkId::new("match_extend", "scalar"),
-        &data,
-        |b, data| b.iter(|| black_box(match_len_scalar(data, 0, N_BYTES / 2, max))),
-    );
+    for &backend in simd::supported() {
+        group.bench_with_input(
+            BenchmarkId::new("match_extend", backend.name()),
+            &data,
+            |b, data| b.iter(|| black_box(backend.match_len(data, 0, N_BYTES / 2, max))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_pack_unpack(c: &mut Criterion) {
+    let mut group = quick(c);
+    // Throughput over the unpacked side: N_POINTS u64 fields per call.
+    group.throughput(Throughput::Bytes((N_POINTS * 8) as u64));
+    for width in [7u32, 12] {
+        let mask = (1u64 << width) - 1;
+        let values: Vec<u64> = (0..N_POINTS as u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask)
+            .collect();
+        let packed = {
+            let mut buf = Vec::new();
+            let (acc, nacc) = simd::Backend::Swar.pack_run(&mut buf, 0, 0, &values, width);
+            buf.extend_from_slice(&acc.to_be_bytes()[..(nacc as usize).div_ceil(8)]);
+            buf
+        };
+        for &backend in simd::supported() {
+            group.bench_with_input(
+                BenchmarkId::new(format!("pack_run_w{width}"), backend.name()),
+                &values,
+                |b, values| {
+                    let mut buf = Vec::with_capacity(N_POINTS * 2);
+                    b.iter(|| {
+                        buf.clear();
+                        black_box(backend.pack_run(&mut buf, 0, 0, values, width))
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("unpack_run_w{width}"), backend.name()),
+                &packed,
+                |b, packed| {
+                    let mut out = vec![0u64; N_POINTS];
+                    b.iter(|| black_box(backend.unpack_run(packed, 0, &mut out, width)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_transforms(c: &mut Criterion) {
+    let mut group = quick(c);
+    group.throughput(Throughput::Bytes((N_POINTS * 8) as u64));
+    let q = quantized(N_POINTS);
+    let zs = {
+        let mut zs = vec![0u64; q.len() - 1];
+        simd::Backend::Swar.delta_zigzag(&q, &mut zs);
+        zs
+    };
+    for &backend in simd::supported() {
+        group.bench_with_input(
+            BenchmarkId::new("delta_zigzag", backend.name()),
+            &q,
+            |b, q| {
+                let mut out = vec![0u64; q.len() - 1];
+                b.iter(|| {
+                    backend.delta_zigzag(q, &mut out);
+                    black_box(out.last().copied())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("unzigzag_undelta", backend.name()),
+            &zs,
+            |b, zs| {
+                let mut out = vec![0i64; zs.len()];
+                b.iter(|| black_box(backend.unzigzag_undelta(q[0], zs, &mut out)))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dequantize", backend.name()),
+            &q,
+            |b, q| {
+                let mut out = vec![0.0f64; q.len()];
+                b.iter(|| {
+                    backend.dequantize(q, 1e4, &mut out);
+                    black_box(out.last().copied())
+                })
+            },
+        );
+    }
     group.finish();
 }
 
@@ -89,37 +178,6 @@ fn bench_quantize(c: &mut Criterion) {
             black_box(out.last().copied())
         })
     });
-    let q = {
-        let mut q = Vec::new();
-        quantize_into(&data, 4, &mut q).unwrap();
-        q
-    };
-    group.bench_with_input(BenchmarkId::new("dequantize", "fused"), &q, |b, q| {
-        let mut out = Vec::with_capacity(N_POINTS);
-        b.iter(|| {
-            dequantize_into(q, 4, &mut out).unwrap();
-            black_box(out.last().copied())
-        })
-    });
-    group.finish();
-}
-
-fn bench_delta_zigzag(c: &mut Criterion) {
-    let mut group = quick(c);
-    group.throughput(Throughput::Bytes((N_POINTS * 8) as u64));
-    let data = smooth_points(N_POINTS);
-    let q = {
-        let mut q = Vec::new();
-        quantize_into(&data, 4, &mut q).unwrap();
-        q
-    };
-    group.bench_with_input(BenchmarkId::new("delta_zigzag", "fused"), &q, |b, q| {
-        let mut out = Vec::with_capacity(N_POINTS);
-        b.iter(|| {
-            delta_zigzag_into(q, &mut out);
-            black_box(out.last().copied())
-        })
-    });
     group.finish();
 }
 
@@ -127,7 +185,8 @@ criterion_group!(
     benches,
     bench_crc32c,
     bench_match_extend,
-    bench_quantize,
-    bench_delta_zigzag
+    bench_pack_unpack,
+    bench_transforms,
+    bench_quantize
 );
 criterion_main!(benches);

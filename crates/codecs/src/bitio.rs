@@ -35,7 +35,11 @@
 //! equivalent per-value `write_bits` / `read_bits` loop, keep the
 //! accumulator in registers across the whole slice, and drop to a plain
 //! byte-copy loop when both the cursor and the width are byte-aligned
-//! (`width % 8 == 0`).
+//! (`width % 8 == 0`). Outside the byte-aligned fast path they dispatch
+//! through [`crate::simd`]: hosts with AVX2 pack/unpack four fields per
+//! step ([`pack_run_swar`] / [`unpack_run_swar`] are the portable tiers,
+//! [`pack_run_scalar`] / [`unpack_run_scalar`] the bit-by-bit
+//! references), and every tier's output is bit-identical.
 
 /// Append-only bit writer over a growable byte buffer.
 #[derive(Debug, Default, Clone)]
@@ -171,31 +175,8 @@ impl BitWriter {
             }
             return;
         }
-        let mask = if width == 64 {
-            u64::MAX
-        } else {
-            (1u64 << width) - 1
-        };
-        let mut acc = self.acc;
-        let mut nacc = self.nacc;
-        for &raw in values {
-            let v = raw & mask;
-            if nacc + width <= 64 {
-                acc |= v << (64 - nacc - width);
-                nacc += width;
-                if nacc == 64 {
-                    self.buf.extend_from_slice(&acc.to_be_bytes());
-                    acc = 0;
-                    nacc = 0;
-                }
-            } else {
-                let rem = nacc + width - 64;
-                self.buf
-                    .extend_from_slice(&(acc | (v >> rem)).to_be_bytes());
-                acc = v << (64 - rem);
-                nacc = rem;
-            }
-        }
+        let (acc, nacc) =
+            crate::simd::active().pack_run(&mut self.buf, self.acc, self.nacc, values, width);
         self.acc = acc;
         self.nacc = nacc;
     }
@@ -281,31 +262,7 @@ impl<'a> BitReader<'a> {
     /// checked `remaining() >= nbits`.
     #[inline]
     fn extract_unchecked(&mut self, nbits: u32) -> u64 {
-        let byte_idx = self.pos / 8;
-        let offset = (self.pos % 8) as u32;
-        let out = if byte_idx + 8 <= self.buf.len() {
-            let word = u64::from_be_bytes(self.buf[byte_idx..byte_idx + 8].try_into().unwrap());
-            if offset + nbits <= 64 {
-                (word << offset) >> (64 - nbits)
-            } else {
-                // Spill into the ninth byte: only possible when
-                // offset + nbits > 64, i.e. nbits >= 58, so at most 7 low
-                // bits come from the next byte.
-                let lo_bits = offset + nbits - 64;
-                let hi = (word << offset) >> offset;
-                let next = self.buf[byte_idx + 8] as u64;
-                (hi << lo_bits) | (next >> (8 - lo_bits))
-            }
-        } else {
-            // Within eight bytes of the end: assemble the remaining bytes
-            // into a partial window. The caller's bounds check guarantees
-            // offset + nbits fits in it.
-            let mut word = 0u64;
-            for (i, &b) in self.buf[byte_idx..].iter().enumerate() {
-                word |= (b as u64) << (56 - 8 * i);
-            }
-            (word << offset) >> (64 - nbits)
-        };
+        let out = extract_at(self.buf, self.pos, nbits);
         self.pos += nbits as usize;
         out
     }
@@ -357,9 +314,7 @@ impl<'a> BitReader<'a> {
             self.pos = idx * 8;
             return Ok(());
         }
-        for slot in out.iter_mut() {
-            *slot = self.extract_unchecked(width);
-        }
+        self.pos = crate::simd::active().unpack_run(self.buf, self.pos, out, width);
         Ok(())
     }
 
@@ -381,6 +336,125 @@ impl<'a> BitReader<'a> {
         self.pos += n * 8;
         Ok(&self.buf[start..start + n])
     }
+}
+
+/// Extract `nbits` (1..=64) at absolute bit `pos` of `buf`, MSB-first.
+/// Caller must guarantee `pos + nbits <= buf.len() * 8`.
+#[inline]
+pub(crate) fn extract_at(buf: &[u8], pos: usize, nbits: u32) -> u64 {
+    let byte_idx = pos / 8;
+    let offset = (pos % 8) as u32;
+    if byte_idx + 8 <= buf.len() {
+        let word = u64::from_be_bytes(buf[byte_idx..byte_idx + 8].try_into().unwrap());
+        if offset + nbits <= 64 {
+            (word << offset) >> (64 - nbits)
+        } else {
+            // Spill into the ninth byte: only possible when
+            // offset + nbits > 64, i.e. nbits >= 58, so at most 7 low
+            // bits come from the next byte.
+            let lo_bits = offset + nbits - 64;
+            let hi = (word << offset) >> offset;
+            let next = buf[byte_idx + 8] as u64;
+            (hi << lo_bits) | (next >> (8 - lo_bits))
+        }
+    } else {
+        // Within eight bytes of the end: assemble the remaining bytes
+        // into a partial window. The caller's bounds check guarantees
+        // offset + nbits fits in it.
+        let mut word = 0u64;
+        for (i, &b) in buf[byte_idx..].iter().enumerate() {
+            word |= (b as u64) << (56 - 8 * i);
+        }
+        (word << offset) >> (64 - nbits)
+    }
+}
+
+/// Portable word-at-a-time run pack (the `Backend::Swar` tier of
+/// [`crate::simd::Backend::pack_run`]): append each value's low `width`
+/// bits to the `(acc, nacc)` staging word over `buf`, flushing eight
+/// bytes at a time. Returns the new staging state.
+pub(crate) fn pack_run_swar(
+    buf: &mut Vec<u8>,
+    acc: u64,
+    nacc: u32,
+    values: &[u64],
+    width: u32,
+) -> (u64, u32) {
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
+    let (mut acc, mut nacc) = (acc, nacc);
+    for &raw in values {
+        let v = raw & mask;
+        if nacc + width <= 64 {
+            acc |= v << (64 - nacc - width);
+            nacc += width;
+            if nacc == 64 {
+                buf.extend_from_slice(&acc.to_be_bytes());
+                acc = 0;
+                nacc = 0;
+            }
+        } else {
+            let rem = nacc + width - 64;
+            buf.extend_from_slice(&(acc | (v >> rem)).to_be_bytes());
+            acc = v << (64 - rem);
+            nacc = rem;
+        }
+    }
+    (acc, nacc)
+}
+
+/// Bit-by-bit reference run pack (the `Backend::Scalar` tier): one bit
+/// staged per step, MSB of each field first. Differential baseline only.
+pub(crate) fn pack_run_scalar(
+    buf: &mut Vec<u8>,
+    acc: u64,
+    nacc: u32,
+    values: &[u64],
+    width: u32,
+) -> (u64, u32) {
+    let (mut acc, mut nacc) = (acc, nacc);
+    for &v in values {
+        for k in (0..width).rev() {
+            acc |= ((v >> k) & 1) << (63 - nacc);
+            nacc += 1;
+            if nacc == 64 {
+                buf.extend_from_slice(&acc.to_be_bytes());
+                acc = 0;
+                nacc = 0;
+            }
+        }
+    }
+    (acc, nacc)
+}
+
+/// Portable windowed run unpack (the `Backend::Swar` tier of
+/// [`crate::simd::Backend::unpack_run`]): one [`extract_at`] per field.
+/// Returns the advanced bit cursor. Caller guarantees the run fits.
+pub(crate) fn unpack_run_swar(buf: &[u8], pos: usize, out: &mut [u64], width: u32) -> usize {
+    let mut pos = pos;
+    for slot in out.iter_mut() {
+        *slot = extract_at(buf, pos, width);
+        pos += width as usize;
+    }
+    pos
+}
+
+/// Bit-by-bit reference run unpack (the `Backend::Scalar` tier).
+/// Differential baseline only.
+pub(crate) fn unpack_run_scalar(buf: &[u8], pos: usize, out: &mut [u64], width: u32) -> usize {
+    let mut pos = pos;
+    for slot in out.iter_mut() {
+        let mut v = 0u64;
+        for _ in 0..width {
+            v = (v << 1) | ((buf[pos / 8] >> (7 - (pos % 8))) & 1) as u64;
+            pos += 1;
+        }
+        *slot = v;
+    }
+    pos
 }
 
 /// Zigzag-encode a signed integer to an unsigned one, mapping

@@ -1,17 +1,23 @@
 //! CRC-32C (Castagnoli) checksums for block framing.
 //!
-//! Software implementation of the iSCSI/ext4 polynomial (reflected
-//! 0x82F63B78). The storage layer uses it to detect payload corruption on
-//! store reads and in the v2 persist format, and the checksum now sits on
-//! the segment framing path, so the default kernel is slicing-by-8: eight
-//! input bytes are folded per iteration through eight precomputed tables,
-//! turning the classic one-table byte loop's serial dependency chain into
-//! eight independent lookups per load. [`crc32c_scalar_append`] keeps the
-//! table-driven byte-at-a-time kernel as the reference implementation; the
-//! two are equivalence-tested here and property-tested in
+//! The iSCSI/ext4 polynomial (reflected 0x82F63B78). The storage layer
+//! uses it to detect payload corruption on store reads and in the v2
+//! persist format, and the checksum sits on the segment framing path, so
+//! the public entry points ([`crc32c`], [`crc32c_append`]) dispatch
+//! through [`crate::simd::active`]: hosts with hardware CRC instructions
+//! (SSE4.2 `crc32`, aarch64 FEAT_CRC32) run a 3-stream interleaved
+//! hardware kernel, and everything else takes the portable slicing-by-8
+//! kernel ([`append_swar`]) — eight input bytes folded per iteration
+//! through eight precomputed tables, turning the classic one-table byte
+//! loop's serial dependency chain into eight independent lookups per
+//! load. [`append_scalar`] keeps the table-driven byte-at-a-time kernel
+//! as the reference implementation. All tiers produce identical digests;
+//! they are equivalence-tested here and property-tested per backend in
 //! `tests/kernel_equivalence.rs`.
 
-const POLY: u32 = 0x82F6_3B78;
+/// The reflected CRC-32C polynomial; also feeds the compile-time
+/// zero-block combine operators in `simd::crc_shift`.
+pub(crate) const POLY: u32 = 0x82F6_3B78;
 
 const fn make_table() -> [u32; 256] {
     let mut table = [0u32; 256];
@@ -65,10 +71,18 @@ pub fn crc32c(bytes: &[u8]) -> u32 {
 /// Extend a previously computed CRC-32C with more bytes, as if the two
 /// byte runs had been hashed in one call. Start from `0`.
 ///
-/// Slicing-by-8 kernel: each iteration XORs the running CRC into the low
-/// half of an unaligned little-endian `u64` load and folds all eight bytes
-/// through the eight tables at once.
+/// Dispatches to the best kernel the host supports (see
+/// [`crate::simd`]); every tier produces identical digests.
+#[inline]
 pub fn crc32c_append(crc: u32, bytes: &[u8]) -> u32 {
+    crate::simd::active().crc32c_append(crc, bytes)
+}
+
+/// Portable slicing-by-8 kernel ([`crc32c_append`] semantics): each
+/// iteration XORs the running CRC into the low half of an unaligned
+/// little-endian `u64` load and folds all eight bytes through the eight
+/// tables at once. The universal fallback tier.
+pub(crate) fn append_swar(crc: u32, bytes: &[u8]) -> u32 {
     let mut c = !crc;
     let mut chunks = bytes.chunks_exact(8);
     for chunk in &mut chunks {
@@ -88,15 +102,10 @@ pub fn crc32c_append(crc: u32, bytes: &[u8]) -> u32 {
     !c
 }
 
-/// Reference byte-at-a-time kernel ([`crc32c`] semantics). Kept for
-/// equivalence tests and the `kernels` benchmark baseline; not used on any
-/// hot path.
-pub fn crc32c_scalar(bytes: &[u8]) -> u32 {
-    crc32c_scalar_append(0, bytes)
-}
-
-/// Reference byte-at-a-time kernel ([`crc32c_append`] semantics).
-pub fn crc32c_scalar_append(crc: u32, bytes: &[u8]) -> u32 {
+/// Reference byte-at-a-time kernel ([`crc32c_append`] semantics). The
+/// `Backend::Scalar` tier: differential baseline for tests and benches,
+/// never selected by detection.
+pub(crate) fn append_scalar(crc: u32, bytes: &[u8]) -> u32 {
     let mut c = !crc;
     for &b in bytes {
         c = TABLES[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
@@ -107,36 +116,49 @@ pub fn crc32c_scalar_append(crc: u32, bytes: &[u8]) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::simd;
 
     #[test]
     fn known_vectors() {
-        // Check values from RFC 3720 / the iSCSI test suite.
+        // Check values from RFC 3720 / the iSCSI test suite, for the
+        // dispatched entry point and every tier the host supports.
+        for &b in simd::supported() {
+            assert_eq!(b.crc32c_append(0, b""), 0, "{}", b.name());
+            assert_eq!(
+                b.crc32c_append(0, b"123456789"),
+                0xE306_9283,
+                "{}",
+                b.name()
+            );
+            assert_eq!(b.crc32c_append(0, &[0u8; 32]), 0x8A91_36AA, "{}", b.name());
+            assert_eq!(
+                b.crc32c_append(0, &[0xFFu8; 32]),
+                0x62A8_AB43,
+                "{}",
+                b.name()
+            );
+        }
         assert_eq!(crc32c(b""), 0);
         assert_eq!(crc32c(b"123456789"), 0xE306_9283);
-        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
-        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
     }
 
     #[test]
-    fn scalar_known_vectors() {
-        assert_eq!(crc32c_scalar(b""), 0);
-        assert_eq!(crc32c_scalar(b"123456789"), 0xE306_9283);
-        assert_eq!(crc32c_scalar(&[0u8; 32]), 0x8A91_36AA);
-        assert_eq!(crc32c_scalar(&[0xFFu8; 32]), 0x62A8_AB43);
-    }
-
-    #[test]
-    fn sliced_matches_scalar_all_lengths() {
-        // Every length 0..64 crosses a different chunk/remainder split.
-        let data: Vec<u8> = (0..64u32)
+    fn all_tiers_match_scalar_all_lengths() {
+        // Every length 0..=400 crosses a different chunk/remainder split
+        // (and, for the hardware tiers, different word-tail mixes).
+        let data: Vec<u8> = (0..400u32)
             .map(|i| (i.wrapping_mul(151) >> 2) as u8)
             .collect();
         for len in 0..=data.len() {
-            assert_eq!(
-                crc32c(&data[..len]),
-                crc32c_scalar(&data[..len]),
-                "len {len}"
-            );
+            let want = append_scalar(0, &data[..len]);
+            for &b in simd::supported() {
+                assert_eq!(
+                    b.crc32c_append(0, &data[..len]),
+                    want,
+                    "{} len {len}",
+                    b.name()
+                );
+            }
         }
     }
 
@@ -145,13 +167,15 @@ mod tests {
         let whole = crc32c(b"hello, world");
         let split = crc32c_append(crc32c(b"hello,"), b" world");
         assert_eq!(whole, split);
-        // Composition also holds across a mid-word split and between kernels.
+        // Composition also holds across a mid-word split and between tiers.
         let data = b"0123456789abcdef0123";
         for cut in 0..data.len() {
-            let sliced = crc32c_append(crc32c(&data[..cut]), &data[cut..]);
-            let scalar = crc32c_scalar_append(crc32c_scalar(&data[..cut]), &data[cut..]);
-            assert_eq!(sliced, crc32c(data), "cut {cut}");
-            assert_eq!(sliced, scalar, "cut {cut}");
+            let scalar = append_scalar(append_scalar(0, &data[..cut]), &data[cut..]);
+            assert_eq!(scalar, crc32c(data), "cut {cut}");
+            for &b in simd::supported() {
+                let tier = b.crc32c_append(b.crc32c_append(0, &data[..cut]), &data[cut..]);
+                assert_eq!(tier, scalar, "{} cut {cut}", b.name());
+            }
         }
     }
 
@@ -164,6 +188,28 @@ mod tests {
                 let mut flipped = base.clone();
                 flipped[byte] ^= 1 << bit;
                 assert_ne!(crc32c(&flipped), crc, "byte {byte} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_stream_blocks_match_scalar() {
+        // Lengths that exercise the 3-stream long/short block paths of the
+        // hardware kernels: around 3*64, 3*1024, and mixed tails.
+        let data: Vec<u8> = (0..4000u32)
+            .map(|i| (i.wrapping_mul(2654435761)) as u8)
+            .collect();
+        for len in [
+            191, 192, 193, 200, 383, 384, 576, 1000, 3071, 3072, 3073, 3264, 3999, 4000,
+        ] {
+            let want = append_scalar(0, &data[..len]);
+            for &b in simd::supported() {
+                assert_eq!(
+                    b.crc32c_append(0, &data[..len]),
+                    want,
+                    "{} len {len}",
+                    b.name()
+                );
             }
         }
     }

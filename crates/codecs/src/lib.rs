@@ -29,6 +29,10 @@
 //! ```
 
 #![warn(missing_docs)]
+// The SIMD dispatch layer is the only source of `unsafe` in the crate;
+// make every operation inside an unsafe fn carry its own unsafe block +
+// SAFETY comment instead of inheriting the fn-level contract.
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod bitio;
 pub mod block;
@@ -53,6 +57,7 @@ pub mod registry;
 pub mod rle;
 pub mod rrd;
 pub mod scratch;
+pub mod simd;
 pub mod snappy;
 pub mod sprintz;
 pub mod traits;
@@ -64,4 +69,5 @@ pub use direct::{agg_with_fallback, direct_agg, AggOp};
 pub use error::{CodecError, Result};
 pub use registry::CodecRegistry;
 pub use scratch::CodecScratch;
+pub use simd::Backend;
 pub use traits::{Codec, CodecKind, LossyCodec};

@@ -106,17 +106,28 @@ fn hash3(data: &[u8], i: usize) -> usize {
 }
 
 /// Length of the common prefix of `data[a..]` and `data[b..]`, capped at
-/// `max` (the LZ match-extension kernel). Compares 8 bytes per iteration
+/// `max` (the LZ match-extension kernel). `max` must not run either
+/// cursor past `data.len()`.
+///
+/// Dispatches through [`crate::simd`]: AVX2/NEON hosts compare 32/16
+/// bytes per step with a movemask-style mismatch locate, everything else
+/// takes the portable 8-bytes-per-step [`match_len_swar`] kernel. All
+/// tiers agree; equivalence is pinned by unit tests here and per-backend
+/// property tests in `tests/kernel_equivalence.rs`.
+#[inline]
+pub fn match_len(data: &[u8], a: usize, b: usize, max: usize) -> usize {
+    crate::simd::active().match_len(data, a, b, max)
+}
+
+/// Portable word-at-a-time match extension (the `Backend::Swar` tier of
+/// [`crate::simd::Backend::match_len`]): compares 8 bytes per iteration
 /// via unaligned little-endian `u64` loads; the first differing byte is
 /// located with a trailing-zeros count on the XOR of the mismatching
-/// words. `max` must not run either cursor past `data.len()`.
-///
-/// Equivalence with [`match_len_scalar`] is pinned by unit tests here and
-/// property tests in `tests/kernel_equivalence.rs`.
+/// words. Also the tail kernel for the wider SIMD tiers.
 // Hot path over trusted input: `max` caps both cursors at `data.len()`.
 #[allow(clippy::indexing_slicing)]
 #[inline]
-pub fn match_len(data: &[u8], a: usize, b: usize, max: usize) -> usize {
+pub(crate) fn match_len_swar(data: &[u8], a: usize, b: usize, max: usize) -> usize {
     let mut len = 0;
     while len + 8 <= max {
         let wa = u64::from_le_bytes(data[a + len..a + len + 8].try_into().unwrap());
@@ -133,13 +144,12 @@ pub fn match_len(data: &[u8], a: usize, b: usize, max: usize) -> usize {
     len
 }
 
-/// Reference byte-at-a-time match extension ([`match_len`] semantics).
-/// Kept for equivalence tests and the `kernels` benchmark baseline; not
-/// used on any hot path.
+/// Reference byte-at-a-time match extension (the `Backend::Scalar` tier).
+/// Differential baseline for tests and benches; not used on any hot path.
 // Reference kernel over trusted input: same bounds contract as `match_len`.
 #[allow(clippy::indexing_slicing)]
 #[inline]
-pub fn match_len_scalar(data: &[u8], a: usize, b: usize, max: usize) -> usize {
+pub(crate) fn match_len_scalar(data: &[u8], a: usize, b: usize, max: usize) -> usize {
     let mut len = 0;
     while len < max && data[a + len] == data[b + len] {
         len += 1;
@@ -502,12 +512,21 @@ mod tests {
         let mut data: Vec<u8> = (0..256u32).map(|i| (i % 13) as u8).collect();
         for flip in 0..24 {
             data[128 + flip] ^= 0xA5;
-            for max in [0, 1, 5, 7, 8, 9, 15, 16, 17, 64, 120] {
+            for max in [0, 1, 5, 7, 8, 9, 15, 16, 17, 33, 64, 120] {
+                let want = match_len_scalar(&data, 0, 128, max);
                 assert_eq!(
                     match_len(&data, 0, 128, max),
-                    match_len_scalar(&data, 0, 128, max),
-                    "flip {flip} max {max}"
+                    want,
+                    "dispatched, flip {flip} max {max}"
                 );
+                for &b in crate::simd::supported() {
+                    assert_eq!(
+                        b.match_len(&data, 0, 128, max),
+                        want,
+                        "{} flip {flip} max {max}",
+                        b.name()
+                    );
+                }
             }
             data[128 + flip] ^= 0xA5;
         }

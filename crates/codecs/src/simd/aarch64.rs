@@ -1,0 +1,88 @@
+//! aarch64 kernels for the SIMD dispatch layer: hardware CRC-32C
+//! (FEAT_CRC32) and NEON 128-bit match extension.
+//!
+//! Reached only through the guarded arms in [`super::Backend`], which
+//! verify the feature at runtime before the (unsafe) call. Bit-identity
+//! with the scalar twins is pinned by the per-backend proptests in
+//! `tests/kernel_equivalence.rs`.
+
+use super::crc_shift::{self, LONG, SHORT};
+use crate::lz;
+use core::arch::aarch64::*;
+
+#[inline]
+fn le_u64(chunk: &[u8]) -> u64 {
+    u64::from_le_bytes(chunk.try_into().expect("chunk of 8"))
+}
+
+/// Hardware CRC-32C over `bytes` extending `crc`
+/// ([`crate::crc32c::crc32c_append`] semantics). Same 3-stream
+/// interleave + zero-block folding as the x86-64 kernel: `crc32cd` also
+/// has multi-cycle latency with single-cycle throughput, so three
+/// independent chains keep the unit busy.
+#[target_feature(enable = "crc")]
+pub(super) fn crc32c_hw(crc: u32, bytes: &[u8]) -> u32 {
+    let mut c = !crc;
+    let mut rest = bytes;
+    for (block_len, table) in [
+        (LONG, &crc_shift::LONG_SHIFT),
+        (SHORT, &crc_shift::SHORT_SHIFT),
+    ] {
+        while rest.len() >= 3 * block_len {
+            let (s0, tail) = rest.split_at(block_len);
+            let (s1, tail) = tail.split_at(block_len);
+            let (s2, tail) = tail.split_at(block_len);
+            let (mut c0, mut c1, mut c2) = (c, 0u32, 0u32);
+            for ((w0, w1), w2) in s0
+                .chunks_exact(8)
+                .zip(s1.chunks_exact(8))
+                .zip(s2.chunks_exact(8))
+            {
+                c0 = __crc32cd(c0, le_u64(w0));
+                c1 = __crc32cd(c1, le_u64(w1));
+                c2 = __crc32cd(c2, le_u64(w2));
+            }
+            let folded = crc_shift::shift(table, c0) ^ c1;
+            c = crc_shift::shift(table, folded) ^ c2;
+            rest = tail;
+        }
+    }
+    let mut chunks = rest.chunks_exact(8);
+    for w in &mut chunks {
+        c = __crc32cd(c, le_u64(w));
+    }
+    for &b in chunks.remainder() {
+        c = __crc32cb(c, b);
+    }
+    !c
+}
+
+/// 16-bytes-per-step match extension ([`crate::lz::match_len`]
+/// semantics). NEON has no movemask; `vshrn_n_u16::<4>` (shift right by
+/// four and narrow) folds the 16-lane compare result to a 64-bit nibble
+/// mask — 4 mask bits per byte lane, in lane order — whose
+/// trailing-zeros count (÷ 4) locates the first mismatching byte.
+#[target_feature(enable = "neon")]
+pub(super) fn match_len_neon(data: &[u8], a: usize, b: usize, max: usize) -> usize {
+    debug_assert!(a + max <= data.len() && b + max <= data.len());
+    let base = data.as_ptr();
+    let mut len = 0;
+    while len + 16 <= max {
+        // SAFETY: `len + 16 <= max` and the caller-asserted contract
+        // `a + max <= data.len()` (checked in the dispatching arm, and
+        // re-debug_asserted above) keep both 16-byte loads inside `data`.
+        let nibbles = unsafe {
+            let va = vld1q_u8(base.add(a + len));
+            let vb = vld1q_u8(base.add(b + len));
+            let eq = vceqq_u8(va, vb);
+            vget_lane_u64::<0>(vreinterpret_u64_u8(vshrn_n_u16::<4>(vreinterpretq_u16_u8(
+                eq,
+            ))))
+        };
+        if nibbles != u64::MAX {
+            return len + (!nibbles).trailing_zeros() as usize / 4;
+        }
+        len += 16;
+    }
+    len + lz::match_len_swar(data, a + len, b + len, max - len)
+}

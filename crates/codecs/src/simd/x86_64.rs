@@ -1,0 +1,282 @@
+//! x86-64 kernels for the SIMD dispatch layer: hardware CRC-32C (SSE4.2)
+//! and 256-bit (AVX2) match extension, bit pack/unpack, fused transforms
+//! and dequantize.
+//!
+//! Every function is `#[target_feature]`-gated and reached only through
+//! the guarded arms in [`super::Backend`], which verify the feature at
+//! runtime before the (unsafe) call. All kernels are bit-identical to
+//! their scalar twins; the per-backend proptests in
+//! `tests/kernel_equivalence.rs` pin that over lengths, alignments and
+//! ragged tails.
+
+use super::crc_shift::{self, LONG, SHORT};
+use crate::bitio;
+use crate::lz;
+use core::arch::x86_64::*;
+
+#[inline]
+fn le_u64(chunk: &[u8]) -> u64 {
+    u64::from_le_bytes(chunk.try_into().expect("chunk of 8"))
+}
+
+/// Hardware CRC-32C over `bytes` extending `crc`
+/// ([`crate::crc32c::crc32c_append`] semantics).
+///
+/// The `crc32` instruction has a 3-cycle latency but single-cycle
+/// throughput, so one serial chain leaves two thirds of the unit idle.
+/// Large inputs are therefore split into three interleaved streams whose
+/// per-block results are folded back together with the compile-time
+/// zero-block operators in [`crc_shift`]: `crc(A‖B‖C) =
+/// shift(shift(crc_A) ^ crc_B) ^ crc_C`.
+#[target_feature(enable = "sse4.2")]
+pub(super) fn crc32c_sse42(crc: u32, bytes: &[u8]) -> u32 {
+    let mut c = !crc;
+    let mut rest = bytes;
+    // 3-stream long blocks, then 3-stream short blocks for mid-size
+    // tails. Each inner loop carries three independent dependency chains.
+    for (block_len, table) in [
+        (LONG, &crc_shift::LONG_SHIFT),
+        (SHORT, &crc_shift::SHORT_SHIFT),
+    ] {
+        while rest.len() >= 3 * block_len {
+            let (s0, tail) = rest.split_at(block_len);
+            let (s1, tail) = tail.split_at(block_len);
+            let (s2, tail) = tail.split_at(block_len);
+            let (mut c0, mut c1, mut c2) = (c as u64, 0u64, 0u64);
+            for ((w0, w1), w2) in s0
+                .chunks_exact(8)
+                .zip(s1.chunks_exact(8))
+                .zip(s2.chunks_exact(8))
+            {
+                c0 = _mm_crc32_u64(c0, le_u64(w0));
+                c1 = _mm_crc32_u64(c1, le_u64(w1));
+                c2 = _mm_crc32_u64(c2, le_u64(w2));
+            }
+            let folded = crc_shift::shift(table, c0 as u32) ^ c1 as u32;
+            c = crc_shift::shift(table, folded) ^ c2 as u32;
+            rest = tail;
+        }
+    }
+    // Single-stream words, then bytes.
+    let mut chunks = rest.chunks_exact(8);
+    let mut c64 = c as u64;
+    for w in &mut chunks {
+        c64 = _mm_crc32_u64(c64, le_u64(w));
+    }
+    c = c64 as u32;
+    for &b in chunks.remainder() {
+        c = _mm_crc32_u8(c, b);
+    }
+    !c
+}
+
+/// 32-bytes-per-step match extension ([`crate::lz::match_len`]
+/// semantics): compare/movemask locates the first mismatching byte with
+/// one trailing-zeros count; the sub-32-byte tail rides the SWAR kernel.
+#[target_feature(enable = "avx2")]
+pub(super) fn match_len_avx2(data: &[u8], a: usize, b: usize, max: usize) -> usize {
+    debug_assert!(a + max <= data.len() && b + max <= data.len());
+    let base = data.as_ptr();
+    let mut len = 0;
+    while len + 32 <= max {
+        // SAFETY: `len + 32 <= max` and the caller-asserted contract
+        // `a + max <= data.len()` (checked in the dispatching arm, and
+        // re-debug_asserted above) keep both 32-byte loads inside `data`.
+        let (va, vb) = unsafe {
+            (
+                _mm256_loadu_si256(base.add(a + len).cast::<__m256i>()),
+                _mm256_loadu_si256(base.add(b + len).cast::<__m256i>()),
+            )
+        };
+        let eq = _mm256_movemask_epi8(_mm256_cmpeq_epi8(va, vb)) as u32;
+        if eq != u32::MAX {
+            return len + (!eq).trailing_zeros() as usize;
+        }
+        len += 32;
+    }
+    len + lz::match_len_swar(data, a + len, b + len, max - len)
+}
+
+/// AVX2 bulk bit-pack for widths 1..=16 ([`super::Backend::pack_run`]
+/// semantics): four values are masked, shifted to their in-chunk bit
+/// positions with a per-lane variable shift and OR-folded into one
+/// `4*width`-bit chunk, so the serial accumulator is touched once per
+/// four values instead of once per value. The ragged tail rides the SWAR
+/// kernel.
+#[target_feature(enable = "avx2")]
+pub(super) fn pack_run_avx2(
+    buf: &mut Vec<u8>,
+    acc: u64,
+    nacc: u32,
+    values: &[u64],
+    width: u32,
+) -> (u64, u32) {
+    debug_assert!((1..=16).contains(&width) && nacc < 64);
+    let gw = 4 * width; // chunk bits, <= 64
+    let mask = (1u64 << width) - 1;
+    let vmask = _mm256_set1_epi64x(mask as i64);
+    // Lane i holds values[i]; the first value lands highest in the chunk.
+    let shifts = _mm256_set_epi64x(0, width as i64, 2 * width as i64, 3 * width as i64);
+    let (mut acc, mut nacc) = (acc, nacc);
+    let mut groups = values.chunks_exact(4);
+    for group in &mut groups {
+        // SAFETY: `group` is exactly four u64s from `chunks_exact(4)`.
+        let v = unsafe { _mm256_loadu_si256(group.as_ptr().cast::<__m256i>()) };
+        let placed = _mm256_sllv_epi64(_mm256_and_si256(v, vmask), shifts);
+        // Horizontal OR of the four lanes down to one u64.
+        let folded = _mm_or_si128(
+            _mm256_castsi256_si128(placed),
+            _mm256_extracti128_si256::<1>(placed),
+        );
+        let folded = _mm_or_si128(folded, _mm_unpackhi_epi64(folded, folded));
+        let chunk = _mm_cvtsi128_si64(folded) as u64;
+        // Insert the right-aligned `gw`-bit chunk, exactly as
+        // `BitWriter::write_bits(chunk, gw)` would.
+        if nacc + gw <= 64 {
+            acc |= chunk << (64 - nacc - gw);
+            nacc += gw;
+            if nacc == 64 {
+                buf.extend_from_slice(&acc.to_be_bytes());
+                acc = 0;
+                nacc = 0;
+            }
+        } else {
+            let rem = nacc + gw - 64;
+            buf.extend_from_slice(&(acc | (chunk >> rem)).to_be_bytes());
+            acc = chunk << (64 - rem);
+            nacc = rem;
+        }
+    }
+    bitio::pack_run_swar(buf, acc, nacc, groups.remainder(), width)
+}
+
+/// AVX2 bulk bit-unpack for widths 1..=14 ([`super::Backend::unpack_run`]
+/// semantics): one 8-byte big-endian window covers four fields plus any
+/// intra-byte cursor offset (`7 + 4*14 <= 64`), so each step is a
+/// broadcast, a per-lane variable left shift and a uniform right shift.
+/// Windows that would read past the buffer, and the ragged tail, ride the
+/// SWAR kernel.
+#[target_feature(enable = "avx2")]
+pub(super) fn unpack_run_avx2(buf: &[u8], pos: usize, out: &mut [u64], width: u32) -> usize {
+    debug_assert!((1..=14).contains(&width));
+    debug_assert!(pos + out.len() * width as usize <= buf.len() * 8);
+    // Lane i extracts the field at bit `offset + i*width` of the window.
+    let lane_bits = _mm256_set_epi64x(3 * width as i64, 2 * width as i64, width as i64, 0);
+    let rshift = _mm_cvtsi32_si128((64 - width) as i32);
+    let mut pos = pos;
+    let mut filled = 0;
+    while filled + 4 <= out.len() {
+        let byte = pos >> 3;
+        if byte + 8 > buf.len() {
+            break; // window would overrun; finish on the SWAR path
+        }
+        let window = u64::from_be_bytes(buf[byte..byte + 8].try_into().expect("window of 8"));
+        let offsets = _mm256_add_epi64(lane_bits, _mm256_set1_epi64x((pos & 7) as i64));
+        let v = _mm256_srl_epi64(
+            _mm256_sllv_epi64(_mm256_set1_epi64x(window as i64), offsets),
+            rshift,
+        );
+        // SAFETY: `filled + 4 <= out.len()` leaves room for a 4-lane store.
+        unsafe { _mm256_storeu_si256(out.as_mut_ptr().add(filled).cast::<__m256i>(), v) };
+        filled += 4;
+        pos += 4 * width as usize;
+    }
+    bitio::unpack_run_swar(buf, pos, &mut out[filled..], width)
+}
+
+/// AVX2 fused delta+zigzag ([`super::Backend::delta_zigzag`] semantics):
+/// four wrapping differences of offset loads, sign mask via a signed
+/// compare against zero (AVX2 has no 64-bit arithmetic right shift), and
+/// the `(d << 1) ^ (d >> 63)` fold.
+#[target_feature(enable = "avx2")]
+pub(super) fn delta_zigzag_avx2(q: &[i64], out: &mut [u64]) {
+    debug_assert_eq!(out.len() + 1, q.len());
+    let zero = _mm256_setzero_si256();
+    let mut i = 0;
+    while i + 4 <= out.len() {
+        // SAFETY: `i + 4 <= out.len()` and `q.len() == out.len() + 1`
+        // keep both offset loads (q[i..i+4], q[i+1..i+5]) and the store
+        // in bounds.
+        unsafe {
+            let a = _mm256_loadu_si256(q.as_ptr().add(i).cast::<__m256i>());
+            let b = _mm256_loadu_si256(q.as_ptr().add(i + 1).cast::<__m256i>());
+            let d = _mm256_sub_epi64(b, a);
+            let sign = _mm256_cmpgt_epi64(zero, d);
+            let z = _mm256_xor_si256(_mm256_add_epi64(d, d), sign);
+            _mm256_storeu_si256(out.as_mut_ptr().add(i).cast::<__m256i>(), z);
+        }
+        i += 4;
+    }
+    crate::util::delta_zigzag_tail(q, out, i);
+}
+
+/// AVX2 inverse transform ([`super::Backend::unzigzag_undelta`]
+/// semantics): zigzag-decode four deltas at once, prefix-sum them across
+/// the lanes (shift-and-add within 128-bit halves, then a broadcast of
+/// the low-half total), and add the running carry. The carry stays in a
+/// vector register (lane-3 broadcast via `vpermq`) so the only
+/// loop-carried dependency is one add + one permute — no vector→scalar
+/// round trip per iteration.
+#[target_feature(enable = "avx2")]
+pub(super) fn unzigzag_undelta_avx2(prev: i64, zs: &[u64], out: &mut [i64]) -> i64 {
+    debug_assert_eq!(zs.len(), out.len());
+    let zero = _mm256_setzero_si256();
+    let one = _mm256_set1_epi64x(1);
+    let mut vprev = _mm256_set1_epi64x(prev);
+    let mut i = 0;
+    while i + 4 <= zs.len() {
+        // SAFETY: `i + 4 <= zs.len() == out.len()` keeps the load and
+        // store in bounds.
+        unsafe {
+            let z = _mm256_loadu_si256(zs.as_ptr().add(i).cast::<__m256i>());
+            // zigzag_decode: (z >> 1) ^ -(z & 1)
+            let d = _mm256_xor_si256(
+                _mm256_srli_epi64::<1>(z),
+                _mm256_sub_epi64(zero, _mm256_and_si256(z, one)),
+            );
+            // Inclusive prefix sum over the four lanes.
+            let p = _mm256_add_epi64(d, _mm256_slli_si256::<8>(d));
+            let low_total = _mm256_permute4x64_epi64::<0b01_01_01_01>(p);
+            let carry_hi = _mm256_blend_epi32::<0b1111_0000>(zero, low_total);
+            let p = _mm256_add_epi64(p, carry_hi);
+            let p = _mm256_add_epi64(p, vprev);
+            _mm256_storeu_si256(out.as_mut_ptr().add(i).cast::<__m256i>(), p);
+            vprev = _mm256_permute4x64_epi64::<0b11_11_11_11>(p);
+        }
+        i += 4;
+    }
+    let prev = _mm256_extract_epi64::<0>(vprev);
+    crate::util::unzigzag_undelta_scalar(prev, &zs[i..], &mut out[i..])
+}
+
+/// AVX2 dequantize ([`super::Backend::dequantize`] semantics): full-range
+/// `i64 → f64` conversion via the split high/low magic-constant trick
+/// (exact — the only rounding is the final add, which matches the
+/// correctly-rounded scalar `as f64`), then an IEEE divide, which rounds
+/// identically to the scalar loop.
+#[target_feature(enable = "avx2")]
+pub(super) fn dequantize_avx2(q: &[i64], scale: f64, out: &mut [f64]) {
+    debug_assert_eq!(q.len(), out.len());
+    // 2^52, 2^84 + 2^63, and 2^84 + 2^63 + 2^52 as raw f64 bit patterns.
+    let magic_lo = _mm256_set1_epi64x(0x4330_0000_0000_0000);
+    let magic_hi = _mm256_set1_epi64x(0x4530_0000_8000_0000_u64 as i64);
+    let magic_all = _mm256_castsi256_pd(_mm256_set1_epi64x(0x4530_0000_8010_0000_u64 as i64));
+    let vscale = _mm256_set1_pd(scale);
+    let mut i = 0;
+    while i + 4 <= q.len() {
+        // SAFETY: `i + 4 <= q.len() == out.len()` keeps the load and
+        // store in bounds.
+        unsafe {
+            let v = _mm256_loadu_si256(q.as_ptr().add(i).cast::<__m256i>());
+            // Low 32 bits as an exact double offset by 2^52; high 32 bits
+            // sign-flipped and placed at 2^32 with the 2^84 offset.
+            let v_lo = _mm256_blend_epi32::<0b0101_0101>(magic_lo, v);
+            let v_hi = _mm256_xor_si256(_mm256_srli_epi64::<32>(v), magic_hi);
+            let hi_dbl = _mm256_sub_pd(_mm256_castsi256_pd(v_hi), magic_all);
+            let d = _mm256_add_pd(hi_dbl, _mm256_castsi256_pd(v_lo));
+            _mm256_storeu_pd(out.as_mut_ptr().add(i), _mm256_div_pd(d, vscale));
+        }
+        i += 4;
+    }
+    crate::util::dequantize_scalar(&q[i..], scale, &mut out[i..]);
+}

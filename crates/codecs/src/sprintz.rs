@@ -12,7 +12,7 @@
 // unchecked indexing so new sites get an explicit justification.
 #![warn(clippy::indexing_slicing)]
 
-use crate::bitio::{bits_needed, zigzag_decode, BitReader, BitWriter};
+use crate::bitio::{bits_needed, BitReader, BitWriter};
 use crate::block::{CodecId, CompressedBlock, CompressedBlockRef};
 use crate::error::{CodecError, Result};
 use crate::scratch::CodecScratch;
@@ -104,7 +104,8 @@ impl Codec for Sprintz {
         Ok(CompressedBlockRef::new(self.id(), data.len(), out))
     }
 
-    // `take = remaining.min(BLOCK)` caps both `lane` slices at the array length.
+    // `take = (n - filled).min(BLOCK)` caps the `lane` slice at the array
+    // length and `filled + take <= n == q.len()` bounds the output window.
     #[allow(clippy::indexing_slicing)]
     fn decompress_into(
         &self,
@@ -123,23 +124,24 @@ impl Codec for Sprintz {
         let first = r.read_bits(64)? as i64;
         let q = &mut scratch.i64s;
         q.clear();
-        q.reserve(n);
-        q.push(first);
-        let mut remaining = n - 1;
+        q.resize(n, 0);
+        q[0] = first;
+        let mut filled = 1usize;
         let mut prev = first;
         let mut lane = [0u64; BLOCK];
-        while remaining > 0 {
+        let backend = crate::simd::active();
+        while filled < n {
             let width = r.read_bits(8)? as u32;
             if width > 64 {
                 return Err(CodecError::Corrupt("sprintz width > 64"));
             }
-            let take = remaining.min(BLOCK);
+            let take = (n - filled).min(BLOCK);
             r.read_run(&mut lane[..take], width)?;
-            for &z in &lane[..take] {
-                prev = prev.wrapping_add(zigzag_decode(z));
-                q.push(prev);
-            }
-            remaining -= take;
+            // Bulk inverse transform: the backend unzigzags the lane and
+            // accumulates it onto `prev` in one pass (AVX2 hosts break the
+            // serial carry with a 4-lane prefix sum).
+            prev = backend.unzigzag_undelta(prev, &lane[..take], &mut q[filled..filled + take]);
+            filled += take;
         }
         dequantize_into(q, precision, out)
     }

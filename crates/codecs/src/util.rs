@@ -5,7 +5,7 @@
 //! kept) and run their validation and transform passes over fixed-size
 //! chunks so the loops auto-vectorize; the allocating forms wrap them.
 
-use crate::bitio::zigzag_encode;
+use crate::bitio::{zigzag_decode, zigzag_encode};
 use crate::error::{CodecError, Result};
 
 /// Chunk size for the validate-then-transform quantization loops: big
@@ -135,35 +135,97 @@ pub fn dequantize(q: &[i64], precision: u8) -> Result<Vec<f64>> {
 
 /// [`dequantize`] into a reused buffer (cleared, capacity kept).
 ///
-/// Pre-sized output and a branch-free convert-and-divide loop the
-/// autovectorizer can lift (division keeps the exact rounding of the
-/// scalar reference; a reciprocal multiply would not be bit-identical).
+/// Dispatches through [`crate::simd`]: AVX2 hosts convert and divide four
+/// lanes per step (full-range exact `i64 → f64` conversion; the division
+/// keeps the exact rounding of the scalar reference — a reciprocal
+/// multiply would not be bit-identical), everything else takes the
+/// autovectorizable [`dequantize_swar`] loop.
 pub fn dequantize_into(q: &[i64], precision: u8, out: &mut Vec<f64>) -> Result<()> {
     let scale = pow10(precision)?;
     out.clear();
     out.resize(q.len(), 0.0);
+    crate::simd::active().dequantize(q, scale, out);
+    Ok(())
+}
+
+/// Portable convert-and-divide loop (the `Backend::Swar` tier of
+/// [`crate::simd::Backend::dequantize`]): pre-sized output, branch-free,
+/// liftable by the autovectorizer.
+pub(crate) fn dequantize_swar(q: &[i64], scale: f64, out: &mut [f64]) {
     for (dst, &x) in out.iter_mut().zip(q) {
         *dst = x as f64 / scale;
     }
-    Ok(())
+}
+
+/// Reference per-element dequantize (the `Backend::Scalar` tier). Also
+/// the tail kernel for the AVX2 tier; identical rounding by construction.
+pub(crate) fn dequantize_scalar(q: &[i64], scale: f64, out: &mut [f64]) {
+    for (dst, &x) in out.iter_mut().zip(q) {
+        *dst = x as f64 / scale;
+    }
 }
 
 /// Zigzagged consecutive deltas of a quantized segment: `out[i] =
 /// zigzag(q[i+1] - q[i])` (the Sprintz/BUFF preprocessing loop; `q[0]` is
 /// transmitted raw by the caller). Wrapping subtraction matches the
-/// decoder's wrapping accumulation.
+/// decoder's wrapping accumulation. Dispatches through [`crate::simd`];
+/// every tier produces identical output.
 pub fn delta_zigzag_into(q: &[i64], out: &mut Vec<u64>) {
     out.clear();
     if q.len() < 2 {
         return;
     }
-    // Pre-sized output plus a subtract/shift/xor loop over two offset
-    // slices: no window bookkeeping, no growth checks, fully liftable.
     out.resize(q.len() - 1, 0);
-    let (prev, next) = (&q[..q.len() - 1], &q[1..]);
-    for ((dst, &a), &b) in out.iter_mut().zip(prev).zip(next) {
+    crate::simd::active().delta_zigzag(q, out);
+}
+
+/// Portable fused delta+zigzag (the `Backend::Swar` tier of
+/// [`crate::simd::Backend::delta_zigzag`]): a subtract/shift/xor loop
+/// over two offset slices — no window bookkeeping, no growth checks,
+/// fully liftable. Requires `out.len() + 1 == q.len()`.
+pub(crate) fn delta_zigzag_swar(q: &[i64], out: &mut [u64]) {
+    delta_zigzag_tail(q, out, 0);
+}
+
+/// Offset-slice delta+zigzag starting at index `from`; the ragged-tail
+/// kernel shared by the SIMD tiers. Requires `out.len() + 1 == q.len()`
+/// and `from <= out.len()`.
+#[inline]
+pub(crate) fn delta_zigzag_tail(q: &[i64], out: &mut [u64], from: usize) {
+    let (prev, next) = (&q[from..q.len() - 1], &q[from + 1..]);
+    for ((dst, &a), &b) in out[from..].iter_mut().zip(prev).zip(next) {
         *dst = zigzag_encode(b.wrapping_sub(a));
     }
+}
+
+/// Reference per-element delta+zigzag (the `Backend::Scalar` tier):
+/// indexed loop, one delta at a time.
+pub(crate) fn delta_zigzag_scalar(q: &[i64], out: &mut [u64]) {
+    for (i, dst) in out.iter_mut().enumerate() {
+        *dst = zigzag_encode(q[i + 1].wrapping_sub(q[i]));
+    }
+}
+
+/// Portable inverse transform (the `Backend::Swar` tier of
+/// [`crate::simd::Backend::unzigzag_undelta`]): starting from `prev`,
+/// accumulate zigzag-decoded deltas into `out` and return the final
+/// value. The accumulation is inherently serial in scalar code; the AVX2
+/// tier breaks the chain with a 4-lane prefix sum. Requires
+/// `zs.len() == out.len()`.
+pub(crate) fn unzigzag_undelta_swar(prev: i64, zs: &[u64], out: &mut [i64]) -> i64 {
+    unzigzag_undelta_scalar(prev, zs, out)
+}
+
+/// Reference inverse transform (the `Backend::Scalar` tier). Also the
+/// ragged-tail kernel for the SIMD tiers.
+#[inline]
+pub(crate) fn unzigzag_undelta_scalar(prev: i64, zs: &[u64], out: &mut [i64]) -> i64 {
+    let mut prev = prev;
+    for (dst, &z) in out.iter_mut().zip(zs) {
+        prev = prev.wrapping_add(zigzag_decode(z));
+        *dst = prev;
+    }
+    prev
 }
 
 /// Minimum and maximum of a non-empty quantized segment in one pass.

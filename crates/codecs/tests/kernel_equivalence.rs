@@ -1,12 +1,19 @@
-//! Property tests pinning every SWAR/fused hot-loop kernel to a naive
-//! scalar reference: slicing-by-8 CRC-32C vs the table-driven byte loop,
-//! word-at-a-time match extension vs byte comparison, and the fused
-//! quantize / dequantize / delta-zigzag / float-serialization loops vs
-//! per-element formulations written out here in the most obvious way.
+//! Property tests pinning every hot-loop kernel tier to the naive scalar
+//! reference, across the whole backend ladder the host supports.
+//!
+//! `adaedge_codecs::simd::supported()` lists every runnable tier
+//! (`[Scalar, Swar, ..]` plus whichever of SSE4.2/AVX2/NEON the CPU has),
+//! and each property compares every tier against `Backend::Scalar` — so
+//! on an AVX2 box one `cargo test` differentially validates scalar vs
+//! SWAR vs SSE4.2 vs AVX2 in-process, over random lengths, alignments
+//! (sub-slicing at random offsets), staging states, and ragged tails.
+//! The fused quantize / float-serialization loops (no SIMD tier) keep
+//! their naive per-element references written out here in the most
+//! obvious way.
 
 use adaedge_codecs::bitio::zigzag_encode;
-use adaedge_codecs::crc32c::{crc32c, crc32c_append, crc32c_scalar, crc32c_scalar_append};
-use adaedge_codecs::lz::{match_len, match_len_scalar};
+use adaedge_codecs::crc32c::crc32c;
+use adaedge_codecs::simd::{self, Backend};
 use adaedge_codecs::util::{
     bytes_to_f64s, delta_zigzag_into, dequantize, f64s_to_bytes, pow10, quantize,
 };
@@ -29,39 +36,52 @@ fn quantize_naive(data: &[f64], precision: u8) -> Option<Vec<i64>> {
     Some(out)
 }
 
+/// The ladder above `Scalar`; every tier must agree with the reference.
+fn tiers() -> impl Iterator<Item = Backend> {
+    simd::supported().iter().copied().skip(1)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
     #[test]
-    fn sliced_crc_matches_scalar_at_every_length_and_offset(
+    fn crc_tiers_match_scalar_at_every_length_and_offset(
         bytes in prop::collection::vec(any::<u8>(), 0..600),
         offset in 0usize..32,
     ) {
         // Sub-slicing at a random offset exercises every alignment of the
         // unaligned 8-byte loads.
         let s = &bytes[offset.min(bytes.len())..];
-        prop_assert_eq!(crc32c(s), crc32c_scalar(s));
+        let want = Backend::Scalar.crc32c_append(0, s);
+        prop_assert_eq!(crc32c(s), want);
+        for b in tiers() {
+            prop_assert_eq!(b.crc32c_append(0, s), want, "{}", b.name());
+        }
     }
 
     #[test]
-    fn sliced_crc_composes_across_random_splits(
-        bytes in prop::collection::vec(any::<u8>(), 0..600),
+    fn crc_tiers_compose_across_random_splits(
+        bytes in prop::collection::vec(any::<u8>(), 0..4000),
         split in any::<usize>(),
         seed in any::<u32>(),
     ) {
+        // Lengths up to 4000 cross the hardware kernels' 3-stream short
+        // (3*64) and long (3*1024) block thresholds mid-stream.
         let mid = if bytes.is_empty() { 0 } else { split % bytes.len() };
         let (head, tail) = bytes.split_at(mid);
         // Streaming from an arbitrary prior state must agree between the
-        // kernels, and composing append over a split must equal one shot.
-        let a = crc32c_append(seed, head);
-        let b = crc32c_scalar_append(seed, head);
-        prop_assert_eq!(a, b);
-        prop_assert_eq!(crc32c_append(a, tail), crc32c_scalar_append(b, tail));
-        prop_assert_eq!(crc32c_append(crc32c_append(0, head), tail), crc32c(&bytes));
+        // tiers, and composing append over a split must equal one shot.
+        let want_head = Backend::Scalar.crc32c_append(seed, head);
+        let want_all = Backend::Scalar.crc32c_append(want_head, tail);
+        for b in tiers() {
+            let h = b.crc32c_append(seed, head);
+            prop_assert_eq!(h, want_head, "head {}", b.name());
+            prop_assert_eq!(b.crc32c_append(h, tail), want_all, "tail {}", b.name());
+        }
     }
 
     #[test]
-    fn swar_match_extension_matches_byte_loop(
+    fn match_extension_tiers_match_byte_loop(
         mut data in prop::collection::vec(any::<u8>(), 2..512),
         a_idx in any::<usize>(),
         b_idx in any::<usize>(),
@@ -81,10 +101,142 @@ proptest! {
             tail[..n].copy_from_slice(&head[a..a + n]);
         }
         let max = max_idx % (len - b + 1);
-        prop_assert_eq!(
-            match_len(&data, a, b, max),
-            match_len_scalar(&data, a, b, max)
-        );
+        let want = Backend::Scalar.match_len(&data, a, b, max);
+        for t in tiers() {
+            prop_assert_eq!(t.match_len(&data, a, b, max), want, "{}", t.name());
+        }
+    }
+
+    #[test]
+    fn pack_run_tiers_match_bit_by_bit_reference(
+        values in prop::collection::vec(any::<u64>(), 0..200),
+        offset in 0usize..8,
+        width in 1u32..=64,
+        nacc in 0u32..64,
+        stage in any::<u64>(),
+    ) {
+        // Random staging state: `nacc` bits already latched in the high end
+        // of the accumulator (as after any partial write), random `values`
+        // sub-slice alignment via `offset`.
+        let acc = if nacc == 0 { 0 } else { stage & !((1u64 << (64 - nacc)) - 1) };
+        let vals = &values[offset.min(values.len())..];
+        let mut want_buf = Vec::new();
+        let want = Backend::Scalar.pack_run(&mut want_buf, acc, nacc, vals, width);
+        for b in tiers() {
+            let mut buf = Vec::new();
+            let got = b.pack_run(&mut buf, acc, nacc, vals, width);
+            prop_assert_eq!(got, want, "state {}", b.name());
+            prop_assert_eq!(&buf, &want_buf, "bytes {}", b.name());
+        }
+    }
+
+    #[test]
+    fn unpack_run_tiers_match_bit_by_bit_reference(
+        buf in prop::collection::vec(any::<u8>(), 1..400),
+        pos_idx in any::<usize>(),
+        width in 1u32..=64,
+        take_idx in any::<usize>(),
+    ) {
+        // Random bit cursor (any intra-byte phase) and the largest-minus-
+        // random run that still fits, so ragged tails of every residue
+        // against the 4-lane step are produced.
+        let total_bits = buf.len() * 8;
+        let pos = pos_idx % total_bits;
+        let fit = (total_bits - pos) / width as usize;
+        let take = if fit == 0 { 0 } else { take_idx % (fit + 1) };
+        let mut want = vec![0u64; take];
+        let want_pos = Backend::Scalar.unpack_run(&buf, pos, &mut want, width);
+        for b in tiers() {
+            let mut out = vec![0u64; take];
+            let got_pos = b.unpack_run(&buf, pos, &mut out, width);
+            prop_assert_eq!(got_pos, want_pos, "cursor {}", b.name());
+            prop_assert_eq!(&out, &want, "fields {}", b.name());
+        }
+    }
+
+    #[test]
+    fn pack_then_unpack_roundtrips_across_tiers(
+        values in prop::collection::vec(any::<u64>(), 1..150),
+        width in 1u32..=64,
+    ) {
+        // Cross-tier wire compatibility: bytes packed by any tier must
+        // unpack identically on any other tier.
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let masked: Vec<u64> = values.iter().map(|&v| v & mask).collect();
+        for packer in simd::supported() {
+            let mut buf = Vec::new();
+            let (acc, nacc) = packer.pack_run(&mut buf, 0, 0, &values, width);
+            if nacc > 0 {
+                buf.extend_from_slice(&acc.to_be_bytes()[..(nacc as usize).div_ceil(8)]);
+            }
+            for unpacker in simd::supported() {
+                let mut out = vec![0u64; values.len()];
+                unpacker.unpack_run(&buf, 0, &mut out, width);
+                prop_assert_eq!(&out, &masked, "{} -> {}", packer.name(), unpacker.name());
+            }
+        }
+    }
+
+    #[test]
+    fn delta_zigzag_tiers_match_windows_loop(
+        q in prop::collection::vec(any::<i64>(), 0..300),
+    ) {
+        let naive: Vec<u64> = q
+            .windows(2)
+            .map(|w| zigzag_encode(w[1].wrapping_sub(w[0])))
+            .collect();
+        let mut fused = Vec::new();
+        delta_zigzag_into(&q, &mut fused);
+        prop_assert_eq!(&fused, &naive);
+        if q.len() >= 2 {
+            for b in tiers() {
+                let mut out = vec![0u64; q.len() - 1];
+                b.delta_zigzag(&q, &mut out);
+                prop_assert_eq!(&out, &naive, "{}", b.name());
+            }
+        }
+    }
+
+    #[test]
+    fn unzigzag_undelta_tiers_invert_delta_zigzag(
+        q in prop::collection::vec(any::<i64>(), 2..300),
+    ) {
+        // Forward-transform with the scalar tier, invert with every tier:
+        // must reproduce the original series and final value exactly
+        // (wrapping arithmetic end to end).
+        let mut zs = vec![0u64; q.len() - 1];
+        Backend::Scalar.delta_zigzag(&q, &mut zs);
+        for b in simd::supported() {
+            let mut out = vec![0i64; zs.len()];
+            let last = b.unzigzag_undelta(q[0], &zs, &mut out);
+            prop_assert_eq!(&out, &q[1..], "series {}", b.name());
+            prop_assert_eq!(last, *q.last().unwrap(), "final {}", b.name());
+        }
+    }
+
+    #[test]
+    fn dequantize_tiers_are_bit_exact(
+        q in prop::collection::vec(any::<i64>(), 0..300),
+        precision in 0u8..=6,
+    ) {
+        // Bit-exact, not approximately equal: every tier must keep the
+        // correctly-rounded IEEE division (a reciprocal multiply would
+        // round differently), including the extreme-magnitude quadrants of
+        // the full i64 range that the AVX2 conversion trick must cover.
+        let scale = pow10(precision).unwrap();
+        let naive: Vec<u64> = q.iter().map(|&x| (x as f64 / scale).to_bits()).collect();
+        let fused = dequantize(&q, precision).unwrap();
+        prop_assert_eq!(fused.len(), naive.len());
+        for (f, n) in fused.iter().zip(&naive) {
+            prop_assert_eq!(f.to_bits(), *n);
+        }
+        for b in tiers() {
+            let mut out = vec![0.0f64; q.len()];
+            b.dequantize(&q, scale, &mut out);
+            for (f, n) in out.iter().zip(&naive) {
+                prop_assert_eq!(f.to_bits(), *n, "{}", b.name());
+            }
+        }
     }
 
     #[test]
@@ -114,35 +266,6 @@ proptest! {
     }
 
     #[test]
-    fn fused_dequantize_matches_naive_division(
-        q in prop::collection::vec(-4_000_000_000_000i64..4_000_000_000_000, 0..300),
-        precision in 0u8..=6,
-    ) {
-        let scale = pow10(precision).unwrap();
-        let naive: Vec<f64> = q.iter().map(|&x| x as f64 / scale).collect();
-        let fused = dequantize(&q, precision).unwrap();
-        // Bit-exact, not approximately equal: the fused loop must keep the
-        // division (a reciprocal multiply would round differently).
-        prop_assert_eq!(fused.len(), naive.len());
-        for (f, n) in fused.iter().zip(&naive) {
-            prop_assert_eq!(f.to_bits(), n.to_bits());
-        }
-    }
-
-    #[test]
-    fn fused_delta_zigzag_matches_windows_loop(
-        q in prop::collection::vec(any::<i64>(), 0..300),
-    ) {
-        let naive: Vec<u64> = q
-            .windows(2)
-            .map(|w| zigzag_encode(w[1].wrapping_sub(w[0])))
-            .collect();
-        let mut fused = Vec::new();
-        delta_zigzag_into(&q, &mut fused);
-        prop_assert_eq!(fused, naive);
-    }
-
-    #[test]
     fn bulk_float_serialization_matches_per_element(
         data in prop::collection::vec(any::<f64>(), 0..200),
     ) {
@@ -156,6 +279,60 @@ proptest! {
         prop_assert_eq!(back.len(), data.len());
         for (b, d) in back.iter().zip(&data) {
             prop_assert_eq!(b.to_bits(), d.to_bits());
+        }
+    }
+}
+
+/// The boundary tails proptest sampling can miss: exact 4-lane multiples,
+/// one-off residues, and the width limits of the AVX2 pack (16) and
+/// unpack (14) fast paths.
+#[test]
+fn run_kernels_cover_width_and_tail_boundaries() {
+    let values: Vec<u64> = (0..70u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
+    for width in [1u32, 7, 8, 13, 14, 15, 16, 17, 63, 64] {
+        for n in [0usize, 1, 3, 4, 5, 7, 8, 9, 12, 16, 64, 65, 70] {
+            let vals = &values[..n];
+            let mut want_buf = Vec::new();
+            let want = Backend::Scalar.pack_run(&mut want_buf, 0, 0, vals, width);
+            for b in simd::supported().iter().skip(1) {
+                let mut buf = Vec::new();
+                let got = b.pack_run(&mut buf, 0, 0, vals, width);
+                assert_eq!((got, &buf), (want, &want_buf), "{} w{width} n{n}", b.name());
+            }
+            // Unpack the scalar bytes (flushed) back on every tier.
+            let mut flushed = want_buf.clone();
+            if want.1 > 0 {
+                flushed.extend_from_slice(&want.0.to_be_bytes()[..(want.1 as usize).div_ceil(8)]);
+            }
+            let mut expect = vec![0u64; n];
+            Backend::Scalar.unpack_run(&flushed, 0, &mut expect, width);
+            for b in simd::supported().iter().skip(1) {
+                let mut out = vec![0u64; n];
+                b.unpack_run(&flushed, 0, &mut out, width);
+                assert_eq!(out, expect, "unpack {} w{width} n{n}", b.name());
+            }
+        }
+    }
+}
+
+/// The forced-backend seam: `ADAEDGE_SIMD` is read once per process, so
+/// this test (run with and without the env var by CI) just pins that the
+/// resolved backend is executable and listed.
+#[test]
+fn active_backend_is_always_supported() {
+    let active = simd::active();
+    assert!(active.is_supported(), "{}", active.name());
+    assert!(simd::supported().contains(&active));
+    if let Ok(name) = std::env::var("ADAEDGE_SIMD") {
+        if let Some(requested) = Backend::from_name(name.trim()) {
+            if requested.is_supported() {
+                assert_eq!(
+                    active, requested,
+                    "supported forced backend must be honored"
+                );
+            }
         }
     }
 }

@@ -19,7 +19,13 @@ cargo clippy --workspace -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> decode-fuzz smoke (fixed seeds)"
+echo "==> forced-scalar backend gate (ADAEDGE_SIMD=scalar, full codec suite)"
+ADAEDGE_SIMD=scalar cargo test -q -p adaedge-codecs
+
+echo "==> forced-scalar decode-fuzz (reference tier must survive the same corpus)"
+ADAEDGE_SIMD=scalar cargo test --release -q -p adaedge-codecs --test decode_fuzz
+
+echo "==> decode-fuzz smoke (fixed seeds, detected SIMD backend)"
 cargo test --release -q -p adaedge-codecs --test decode_fuzz
 
 echo "==> kernel equivalence proptests (release)"
